@@ -1,0 +1,39 @@
+// Figure 2: P(T1 > T2) versus the mean difference, for correlation
+// coefficients rho in {0, 0.5, 0.9} and sigma ratios 1:1 and 3:1 (eq. 8).
+//
+// The paper uses this plot to argue that modest mean separation already gives
+// high ordering confidence, so the 2P rule loses little even for pbar > 0.5.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/reporting.hpp"
+#include "stats/normal.hpp"
+
+int main() {
+  using namespace vabi;
+  std::cout << "=== Figure 2: P(T1 > T2) vs mean difference (eq. 8) ===\n";
+  const double rhos[] = {0.0, 0.5, 0.9};
+  const double sigma2 = 1.0;
+
+  for (const double ratio : {1.0, 3.0}) {
+    const double sigma1 = ratio * sigma2;
+    std::cout << "\n-- sigma_T1 = " << ratio << " * sigma_T2 --\n";
+    analysis::text_table t{{"mu1-mu2", "rho=0", "rho=0.5", "rho=0.9"}};
+    for (double d = 0.0; d <= 6.0 + 1e-9; d += 0.5) {
+      std::vector<std::string> row{analysis::fmt(d, 1)};
+      for (const double rho : rhos) {
+        const double s = std::sqrt(sigma1 * sigma1 -
+                                   2.0 * rho * sigma1 * sigma2 +
+                                   sigma2 * sigma2);
+        const double p =
+            s == 0.0 ? (d > 0 ? 1.0 : 0.5) : stats::normal_cdf(d / s);
+        row.push_back(analysis::fmt(p, 4));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+  std::cout << "(paper: for pbar = 0.85 a mean separation of < 4 time units "
+               "suffices; higher correlation sharpens the curve)\n";
+  return 0;
+}

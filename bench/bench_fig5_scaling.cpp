@@ -1,0 +1,59 @@
+// Figure 5: runtime of the 2P-pruned variation-aware engine vs sink count.
+//
+// The paper's point: with the 2P rule both merging and pruning are linear, so
+// the end-to-end runtime scales roughly linearly in the number of sinks. We
+// sweep generated nets and report seconds per net plus the least-squares
+// exponent of runtime ~ sinks^k (k near 1, far below the 4P blow-up).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace vabi;
+  bench::experiment_config cfg;
+
+  std::vector<std::size_t> sizes{100, 200, 400, 800, 1600, 3200};
+  if (bench::full_mode()) {
+    sizes.push_back(6400);
+    sizes.push_back(12800);
+    sizes.push_back(25600);
+  }
+
+  std::cout << "=== Figure 5: 2P runtime vs number of sinks (WID model) ===\n";
+  analysis::text_table t{
+      {"Sinks", "Positions", "Runtime (s)", "Candidates", "Peak list"}};
+  std::vector<std::pair<double, double>> loglog;
+  for (const std::size_t sinks : sizes) {
+    tree::benchmark_spec spec;
+    spec.name = "gen" + std::to_string(sinks);
+    spec.sinks = sinks;
+    spec.die_side_um = 4000.0 * std::sqrt(static_cast<double>(sinks) / 250.0);
+    spec.seed = 900 + sinks;
+    const auto net = tree::build_benchmark(spec);
+    const auto r = bench::optimize(net, spec, cfg, layout::wid_mode(),
+                                   layout::spatial_profile::heterogeneous);
+    t.add_row({std::to_string(sinks), std::to_string(net.num_buffer_positions()),
+               analysis::fmt(r.stats.wall_seconds, 3),
+               std::to_string(r.stats.candidates_created),
+               std::to_string(r.stats.peak_list_size)});
+    loglog.emplace_back(std::log(static_cast<double>(sinks)),
+                        std::log(std::max(r.stats.wall_seconds, 1e-6)));
+  }
+  t.print(std::cout);
+
+  // Least-squares slope of log(time) vs log(sinks).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [x, y] : loglog) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = static_cast<double>(loglog.size());
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  std::cout << "runtime ~ sinks^" << analysis::fmt(slope, 2)
+            << "  (paper: roughly linear scaling, Fig. 5)\n";
+  return 0;
+}

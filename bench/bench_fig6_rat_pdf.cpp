@@ -1,0 +1,46 @@
+// Figure 6: root RAT PDF predicted by the canonical-form model vs Monte
+// Carlo simulation of the same buffered tree.
+//
+// The paper runs this on its largest net (r5) and finds the first-order model
+// "very accurate". Default here uses r2 so the bench suite stays fast;
+// VABI_FULL=1 switches to r5 as in the paper.
+#include <iostream>
+
+#include "analysis/monte_carlo_validation.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace vabi;
+  bench::experiment_config cfg;
+  const auto spec = *tree::find_benchmark(bench::full_mode() ? "r5" : "r2");
+  const auto profile = layout::spatial_profile::heterogeneous;
+
+  const auto net = tree::build_benchmark(spec);
+  const auto wid = bench::optimize(net, spec, cfg, layout::wid_mode(), profile);
+
+  auto eval_model = bench::make_model(spec, cfg, layout::wid_mode(), profile);
+  analysis::buffered_tree_model design{
+      net, cfg.wire, cfg.library, wid.assignment, eval_model,
+      cfg.driver_res_ohm};
+
+  const std::size_t samples = bench::full_mode() ? 10000 : 4000;
+  const auto v = analysis::validate_rat_model(design, eval_model, samples, 4242);
+
+  std::cout << "=== Figure 6: RAT at the root, model vs Monte Carlo ("
+            << spec.name << ", " << samples << " samples) ===\n";
+  analysis::text_table t{{"Quantity", "Model", "Monte Carlo"}};
+  t.add_row({"mean (ps)", analysis::fmt(v.model_mean_ps, 1),
+             analysis::fmt(v.mc_moments.mean, 1)});
+  t.add_row({"sigma (ps)", analysis::fmt(v.model_sigma_ps, 2),
+             analysis::fmt(v.mc_moments.stddev, 2)});
+  t.add_row({"5th pct (ps)",
+             analysis::fmt(v.model_mean_ps - 1.6449 * v.model_sigma_ps, 1),
+             analysis::fmt(v.samples.quantile(0.05), 1)});
+  t.print(std::cout);
+  std::cout << "KS distance = " << analysis::fmt(v.ks_distance, 4) << "\n\n";
+
+  std::cout << "-- Monte-Carlo RAT PDF --\n";
+  analysis::print_histogram(std::cout, v.samples.density_histogram(25), 50);
+  std::cout << "(paper: model-predicted PDF overlays the MC PDF)\n";
+  return 0;
+}

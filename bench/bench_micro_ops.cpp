@@ -1,0 +1,139 @@
+// Micro-benchmarks of the DP key operations (google-benchmark).
+//
+// Quantifies the constants behind the complexity claims:
+//   - sparse canonical-form arithmetic (add / sigma-of-difference / min);
+//   - linear merge + sweep prune (2P) vs cross-product merge + pairwise
+//     prune (4P) on identical candidate lists -- Fig. 1 vs Section 2.2;
+//   - the Fig. 1 deterministic linear merge.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/pruning.hpp"
+#include "stats/linear_form.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace vabi;
+
+struct form_fixture {
+  stats::variation_space space;
+  std::vector<stats::linear_form> forms;
+
+  form_fixture(std::size_t num_sources, std::size_t num_forms,
+               std::size_t terms_per_form, std::uint64_t seed = 7) {
+    for (std::size_t i = 0; i < num_sources; ++i) {
+      space.add_source(stats::source_kind::random_device, 1.0);
+    }
+    auto rng = stats::make_rng(seed);
+    std::uniform_int_distribution<std::size_t> pick(0, num_sources - 1);
+    std::uniform_real_distribution<double> coeff(-1.0, 1.0);
+    std::uniform_real_distribution<double> mean(-100.0, 100.0);
+    for (std::size_t f = 0; f < num_forms; ++f) {
+      stats::linear_form lf{mean(rng)};
+      for (std::size_t t = 0; t < terms_per_form; ++t) {
+        lf.add_term(static_cast<stats::source_id>(pick(rng)), coeff(rng));
+      }
+      forms.push_back(std::move(lf));
+    }
+  }
+};
+
+void BM_LinearFormAdd(benchmark::State& state) {
+  form_fixture fx(1024, 2, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto sum = fx.forms[0] + fx.forms[1];
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_LinearFormAdd)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SigmaOfDifference(benchmark::State& state) {
+  form_fixture fx(1024, 2, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::sigma_of_difference(fx.forms[0], fx.forms[1], fx.space));
+  }
+}
+BENCHMARK(BM_SigmaOfDifference)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_StatisticalMin(benchmark::State& state) {
+  form_fixture fx(1024, 2, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto m = stats::statistical_min(fx.forms[0], fx.forms[1], fx.space);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_StatisticalMin)->Arg(8)->Arg(64)->Arg(512);
+
+std::vector<core::stat_candidate> make_candidates(std::size_t n,
+                                                  std::uint64_t seed) {
+  auto rng = stats::make_rng(seed);
+  std::uniform_real_distribution<double> load(0.01, 0.5);
+  std::uniform_real_distribution<double> rat(-2000.0, -1000.0);
+  std::vector<core::stat_candidate> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::stat_candidate c;
+    c.load = stats::linear_form{load(rng)};
+    c.rat = stats::linear_form{rat(rng)};
+    // a few variation terms so sigma computations are exercised
+    for (stats::source_id id = 0; id < 8; ++id) {
+      c.load.add_term(id, 0.001 * static_cast<double>(i % 7));
+      c.rat.add_term(id, 0.1 * static_cast<double>((i + 3) % 5));
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void BM_PruneTwoParam(benchmark::State& state) {
+  form_fixture fx(64, 0, 0);
+  const auto base =
+      make_candidates(static_cast<std::size_t>(state.range(0)), 3);
+  core::dp_stats s;
+  for (auto _ : state) {
+    auto list = base;
+    core::prune_two_param(core::two_param_rule{}, list, fx.space, s);
+    benchmark::DoNotOptimize(list);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PruneTwoParam)->Range(64, 4096)->Complexity();
+
+void BM_PruneFourParam(benchmark::State& state) {
+  form_fixture fx(64, 0, 0);
+  const auto base =
+      make_candidates(static_cast<std::size_t>(state.range(0)), 3);
+  core::dp_stats s;
+  for (auto _ : state) {
+    auto list = base;
+    core::prune_four_param(core::four_param_rule{}, list, fx.space, s);
+    benchmark::DoNotOptimize(list);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PruneFourParam)->Range(64, 1024)->Complexity();
+
+void BM_DetPrune(benchmark::State& state) {
+  std::vector<core::det_candidate> base;
+  auto rng = stats::make_rng(11);
+  std::uniform_real_distribution<double> load(0.01, 0.5);
+  std::uniform_real_distribution<double> rat(-2000.0, -1000.0);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    base.push_back({load(rng), rat(rng), nullptr});
+  }
+  core::dp_stats s;
+  for (auto _ : state) {
+    auto list = base;
+    core::prune_deterministic(list, s);
+    benchmark::DoNotOptimize(list);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DetPrune)->Range(64, 4096)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

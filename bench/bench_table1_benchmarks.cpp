@@ -1,0 +1,27 @@
+// Table 1: characteristics of the benchmark suite.
+//
+// Prints the regenerated nets' sink and buffer-position counts (which match
+// the paper's Table 1 exactly by construction) plus geometry statistics of
+// our synthetic embeddings.
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace vabi;
+  std::cout << "=== Table 1: Characteristics of benchmarks ===\n";
+  analysis::text_table t{{"Bench", "Sinks", "Buffer Positions", "Die (um)",
+                          "Total wire (mm)", "Nodes"}};
+  for (const auto& spec : tree::paper_benchmarks()) {
+    const auto net = tree::build_benchmark(spec);
+    t.add_row({spec.name, std::to_string(net.num_sinks()),
+               std::to_string(net.num_buffer_positions()),
+               analysis::fmt(spec.die_side_um, 0),
+               analysis::fmt(net.total_wire_um() / 1000.0, 1),
+               std::to_string(net.num_nodes())});
+  }
+  t.print(std::cout);
+  std::cout << "(paper Table 1: p1 269/537, p2 603/1205, r1 267/533, "
+               "r2 598/1195, r3 862/1723, r4 1903/3805, r5 3101/6201)\n";
+  return 0;
+}

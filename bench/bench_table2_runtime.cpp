@@ -1,0 +1,74 @@
+// Table 2: runtime comparison between the 4P baseline [7] and the 2P rule.
+//
+// Reproduces the paper's experiment: both engines run RAT optimization under
+// the full WID variation model; 4P's partial order forces O(n*m) merging and
+// O(N^2) pruning, so it only finishes the smallest net (p1 in the paper) and
+// blows past resource caps on everything larger. The caps here play the role
+// of the paper's 2 GB / 4 hour limits, scaled down so the bench terminates
+// quickly; set VABI_FULL=1 for the paper-scale run (all benchmarks, larger
+// 4P budget).
+#include <iostream>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace vabi;
+  bench::experiment_config cfg;
+  const auto profile = layout::spatial_profile::heterogeneous;
+
+  std::cout << "=== Table 2: Runtime comparison (seconds) ===\n";
+  analysis::text_table t{
+      {"Bench", "4P (s)", "2P (s)", "Speedup", "4P peak list", "2P peak list"}};
+
+  // Small generated nets locate the 4P feasibility boundary (the paper's 4P
+  // reimplementation completed its smallest net and died on the rest; our 4P
+  // crossover sits lower, see EXPERIMENTS.md).
+  std::vector<tree::benchmark_spec> specs;
+  for (const std::size_t sinks : {16u, 32u, 64u}) {
+    tree::benchmark_spec s;
+    s.name = "s" + std::to_string(sinks);
+    s.sinks = sinks;
+    s.die_side_um = 3000.0;
+    s.seed = 500 + sinks;
+    specs.push_back(s);
+  }
+  for (const auto& spec : bench::suite()) specs.push_back(spec);
+
+  for (const auto& spec : specs) {
+    const auto net = tree::build_benchmark(spec);
+
+    // 2P: no caps needed; it is the linear-complexity contribution.
+    const auto r2 = bench::optimize(net, spec, cfg, layout::wid_mode(), profile,
+                                    core::pruning_kind::two_param);
+
+    // 4P: capped; on everything beyond the smallest nets it aborts, which is
+    // the paper's "-" entries (memory / time limit exceeded).
+    core::stat_options caps;
+    caps.max_candidates = bench::full_mode() ? 50'000'000 : 3'000'000;
+    caps.max_list_size = 200'000;
+    caps.max_wall_seconds = bench::full_mode() ? 600.0 : 30.0;
+    const auto r4 =
+        bench::optimize(net, spec, cfg, layout::wid_mode(), profile,
+                        core::pruning_kind::four_param, &caps);
+
+    const std::string t4 =
+        r4.stats.aborted ? "-" : analysis::fmt(r4.stats.wall_seconds, 2);
+    const std::string speedup =
+        r4.stats.aborted
+            ? "-"
+            : analysis::fmt(r4.stats.wall_seconds /
+                                std::max(r2.stats.wall_seconds, 1e-9),
+                            1) +
+                  "x";
+    t.add_row({spec.name, t4, analysis::fmt(r2.stats.wall_seconds, 2), speedup,
+               r4.stats.aborted
+                   ? ("abort: " + r4.stats.abort_reason)
+                   : std::to_string(r4.stats.peak_list_size),
+               std::to_string(r2.stats.peak_list_size)});
+  }
+  t.print(std::cout);
+  std::cout << "(paper: 4P finishes only p1 at 25.4s vs 2P 1.5s = 17.3x; "
+               "all larger nets exceed 2GB/4h for 4P, while 2P completes "
+               "r5 in under 16 minutes)\n";
+  return 0;
+}

@@ -1,0 +1,232 @@
+// vabi_cli -- command-line variation-aware buffer insertion.
+//
+// Reads a routing tree in the vabi-tree text format (see tree/tree_io.hpp),
+// optimizes it, and prints the buffered design and its RAT statistics.
+//
+//   vabi_cli NET.tree [options]
+//     --mode nom|d2d|wid        variation model to optimize under (default wid)
+//     --rule 2p|4p|1p           pruning rule (default 2p)
+//     --profile homo|hetero     spatial budget profile (default hetero)
+//     --pbar P                  2P parameters pbar_L = pbar_T (default 0.5)
+//     --yield-percentile Q      selection/root percentile (default 0.05)
+//     --driver-res OHM          source driver resistance (default 150)
+//     --wire-widths W1,W2,...   enable wire sizing with these multipliers
+//     --emit-assignment PATH    write "node buffer_name [width]" lines
+//     --generate SINKS          ignore NET.tree; generate a random net
+//     --seed N                  seed for --generate (default 1)
+//
+// Exit codes: 0 success, 1 usage error, 2 optimization aborted.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/variance_breakdown.hpp"
+#include "analysis/yield.hpp"
+#include "core/statistical_dp.hpp"
+#include "core/van_ginneken.hpp"
+#include "tree/generators.hpp"
+#include "tree/tree_io.hpp"
+
+namespace {
+
+using namespace vabi;
+
+struct cli_options {
+  std::string tree_path;
+  layout::variation_mode mode = layout::wid_mode();
+  core::pruning_kind rule = core::pruning_kind::two_param;
+  layout::spatial_profile profile = layout::spatial_profile::heterogeneous;
+  double pbar = 0.5;
+  double yield_percentile = 0.05;
+  double driver_res = 150.0;
+  std::vector<double> wire_widths = {1.0};
+  std::string emit_assignment;
+  std::size_t generate_sinks = 0;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::cerr << "vabi_cli: " << msg << "\n";
+  std::cerr << "usage: vabi_cli NET.tree [--mode nom|d2d|wid] [--rule 2p|4p|1p]\n"
+               "                [--profile homo|hetero] [--pbar P]\n"
+               "                [--yield-percentile Q] [--driver-res OHM]\n"
+               "                [--wire-widths W1,W2,...]\n"
+               "                [--emit-assignment PATH]\n"
+               "                [--generate SINKS] [--seed N]\n";
+  std::exit(1);
+}
+
+std::vector<double> parse_widths(const std::string& arg) {
+  std::vector<double> widths;
+  std::istringstream is(arg);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    widths.push_back(std::stod(tok));
+  }
+  if (widths.empty()) usage("empty --wire-widths");
+  return widths;
+}
+
+cli_options parse(int argc, char** argv) {
+  cli_options o;
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage("missing value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      usage(nullptr);
+    } else if (a == "--mode") {
+      const std::string v = need_value(i);
+      if (v == "nom") {
+        o.mode = layout::nom_mode();
+      } else if (v == "d2d") {
+        o.mode = layout::d2d_mode();
+      } else if (v == "wid") {
+        o.mode = layout::wid_mode();
+      } else {
+        usage("unknown --mode");
+      }
+    } else if (a == "--rule") {
+      const std::string v = need_value(i);
+      if (v == "2p") {
+        o.rule = core::pruning_kind::two_param;
+      } else if (v == "4p") {
+        o.rule = core::pruning_kind::four_param;
+      } else if (v == "1p") {
+        o.rule = core::pruning_kind::corner;
+      } else {
+        usage("unknown --rule");
+      }
+    } else if (a == "--profile") {
+      const std::string v = need_value(i);
+      if (v == "homo") {
+        o.profile = layout::spatial_profile::homogeneous;
+      } else if (v == "hetero") {
+        o.profile = layout::spatial_profile::heterogeneous;
+      } else {
+        usage("unknown --profile");
+      }
+    } else if (a == "--pbar") {
+      o.pbar = std::stod(need_value(i));
+    } else if (a == "--yield-percentile") {
+      o.yield_percentile = std::stod(need_value(i));
+    } else if (a == "--driver-res") {
+      o.driver_res = std::stod(need_value(i));
+    } else if (a == "--wire-widths") {
+      o.wire_widths = parse_widths(need_value(i));
+    } else if (a == "--emit-assignment") {
+      o.emit_assignment = need_value(i);
+    } else if (a == "--generate") {
+      o.generate_sinks = static_cast<std::size_t>(std::stoul(need_value(i)));
+    } else if (a == "--seed") {
+      o.seed = std::stoull(need_value(i));
+    } else if (!a.empty() && a[0] == '-') {
+      usage(("unknown option " + a).c_str());
+    } else if (o.tree_path.empty()) {
+      o.tree_path = a;
+    } else {
+      usage("multiple tree paths");
+    }
+  }
+  if (o.tree_path.empty() && o.generate_sinks == 0) {
+    usage("need NET.tree or --generate");
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli_options cli = parse(argc, argv);
+
+  tree::routing_tree net = [&] {
+    if (cli.generate_sinks > 0) {
+      tree::random_tree_options g;
+      g.num_sinks = cli.generate_sinks;
+      g.die_side_um = 8000.0;
+      g.seed = cli.seed;
+      g.criticality_balance = 0.8;
+      return tree::make_random_tree(g);
+    }
+    return tree::load_tree(cli.tree_path);
+  }();
+
+  const auto lib = timing::standard_library();
+  layout::bbox die = net.bounding_box();
+  die.expand({die.lo.x - 1.0, die.lo.y - 1.0});
+  die.expand({die.hi.x + 1.0, die.hi.y + 1.0});
+
+  layout::process_model_config pm;
+  pm.mode = cli.mode;
+  pm.spatial.profile = cli.profile;
+  layout::process_model model{die, pm};
+
+  core::stat_options o;
+  o.library = lib;
+  o.driver_res_ohm = cli.driver_res;
+  o.rule = cli.rule;
+  o.two_param.p_load = cli.pbar;
+  o.two_param.p_rat = cli.pbar;
+  o.root_percentile = cli.yield_percentile;
+  o.selection_percentile = cli.yield_percentile;
+  o.wire_width_multipliers = cli.wire_widths;
+  if (cli.rule == core::pruning_kind::four_param) {
+    o.max_list_size = 200000;  // fail fast instead of exploding
+    o.max_wall_seconds = 300.0;
+  }
+
+  const auto r = core::run_statistical_insertion(net, model, o);
+  if (!r.ok()) {
+    std::cerr << "optimization aborted: " << r.stats.abort_reason << "\n";
+    return 2;
+  }
+
+  const auto& space = model.space();
+  std::cout << "net: " << net.num_sinks() << " sinks, "
+            << net.num_buffer_positions() << " positions, "
+            << net.total_wire_um() / 1000.0 << " mm wire\n";
+  std::cout << "mode " << layout::to_string(cli.mode) << ", rule "
+            << core::to_string(cli.rule) << ", profile "
+            << layout::to_string(cli.profile) << "\n";
+  std::cout << "buffers: " << r.num_buffers;
+  if (o.wire_width_multipliers.size() > 1) {
+    std::cout << ", widened edges: " << r.wires.count_nondefault();
+  }
+  std::cout << "\n";
+  std::cout << "root RAT: mean " << r.root_rat.mean() << " ps, sigma "
+            << r.root_rat.stddev(space) << " ps, 95%-yield "
+            << analysis::yield_rat(r.root_rat, space) << " ps\n";
+  std::cout << "runtime " << r.stats.wall_seconds << " s, "
+            << r.stats.candidates_created << " candidates, peak list "
+            << r.stats.peak_list_size << "\n";
+  const auto vb = analysis::decompose_variance(r.root_rat, space);
+  if (vb.total() > 0.0) {
+    std::cout << "variance by class: random "
+              << 100.0 * vb.fraction(vb.random_device) << "%, spatial "
+              << 100.0 * vb.fraction(vb.spatial) << "%, inter-die "
+              << 100.0 * vb.fraction(vb.inter_die) << "%\n";
+  }
+
+  if (!cli.emit_assignment.empty()) {
+    std::ofstream os(cli.emit_assignment);
+    if (!os) {
+      std::cerr << "cannot open " << cli.emit_assignment << "\n";
+      return 1;
+    }
+    for (tree::node_id id = 0; id < net.num_nodes(); ++id) {
+      if (r.assignment.has_buffer(id)) {
+        os << id << ' ' << lib[r.assignment.buffer(id)].name;
+        if (o.wire_width_multipliers.size() > 1) {
+          os << ' ' << r.wires.width(id);
+        }
+        os << '\n';
+      }
+    }
+    std::cout << "assignment written to " << cli.emit_assignment << "\n";
+  }
+  return 0;
+}

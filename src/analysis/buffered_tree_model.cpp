@@ -1,0 +1,103 @@
+#include "analysis/buffered_tree_model.hpp"
+
+#include <stdexcept>
+
+namespace vabi::analysis {
+
+buffered_tree_model::buffered_tree_model(
+    const tree::routing_tree& tree, const timing::wire_model& wire,
+    const timing::buffer_library& library,
+    const timing::buffer_assignment& assignment, layout::process_model& model,
+    double driver_res_ohm)
+    : buffered_tree_model(tree, timing::wire_menu{wire},
+                          timing::wire_assignment{}, library, assignment,
+                          model, driver_res_ohm) {}
+
+buffered_tree_model::buffered_tree_model(
+    const tree::routing_tree& tree, const timing::wire_menu& menu,
+    const timing::wire_assignment& wires,
+    const timing::buffer_library& library,
+    const timing::buffer_assignment& assignment, layout::process_model& model,
+    double driver_res_ohm)
+    : tree_(tree),
+      menu_(menu),
+      wires_(wires),
+      library_(library),
+      assignment_(assignment),
+      driver_res_ohm_(driver_res_ohm),
+      devices_(tree.num_nodes()) {
+  if (assignment.num_nodes() != tree.num_nodes()) {
+    throw std::invalid_argument("buffered_tree_model: assignment mismatch");
+  }
+  num_buffers_ = assignment_.count();
+
+  // One bottom-up pass with the variation-aware key operations.
+  std::vector<stats::linear_form> load(tree.num_nodes());
+  std::vector<stats::linear_form> rat(tree.num_nodes());
+  std::vector<bool> have_rat(tree.num_nodes(), false);
+
+  for (tree::node_id id : tree.postorder()) {
+    const auto& n = tree.node(id);
+    if (n.is_sink()) {
+      load[id] = stats::linear_form{n.sink_cap_pf};
+      rat[id] = stats::linear_form{n.sink_rat_ps};
+      have_rat[id] = true;
+    } else {
+      stats::linear_form l{0.0};
+      stats::linear_form t;
+      bool have_t = false;
+      for (tree::node_id c : n.children) {
+        const double um = tree.node(c).parent_wire_um;
+        const timing::wire_model& wire = menu_[wires_.width(c)];
+        // eqs. 33-34.
+        stats::linear_form cl = load[c];
+        stats::linear_form ct = rat[c];
+        ct -= (wire.res_per_um * um) * load[c];
+        ct -= 0.5 * wire.res_per_um * wire.cap_per_um * um * um;
+        cl += wire.wire_cap(um);
+        l += cl;
+        if (!have_t) {
+          t = std::move(ct);
+          have_t = true;
+        } else {
+          t = stats::statistical_min(t, ct, model.space());  // eq. 38
+        }
+        load[c] = stats::linear_form{};  // release memory
+        rat[c] = stats::linear_form{};
+      }
+      load[id] = std::move(l);
+      rat[id] = std::move(t);
+      have_rat[id] = have_t;
+    }
+    if (assignment_.has_buffer(id)) {
+      if (n.is_source()) {
+        throw std::invalid_argument(
+            "buffered_tree_model: buffer at the source is not legal");
+      }
+      const timing::buffer_index b = assignment_.buffer(id);
+      const auto& type = library_[b];
+      devices_[id] = model.characterize(n.location, type.cap_pf, type.delay_ps);
+      // eqs. 35-36.
+      rat[id] -= devices_[id].delay;
+      rat[id] -= type.res_ohm * load[id];
+      load[id] = devices_[id].cap;
+    }
+  }
+
+  root_rat_ = std::move(rat[tree.root()]);
+  root_rat_ -= driver_res_ohm_ * load[tree.root()];
+}
+
+double buffered_tree_model::evaluate_sample(
+    std::span<const double> sample) const {
+  const auto devices = [&](tree::node_id n,
+                           timing::buffer_index b) -> timing::device_values {
+    return {devices_[n].cap.evaluate(sample), devices_[n].delay.evaluate(sample),
+            library_[b].res_ohm};
+  };
+  return timing::evaluate_buffered_tree(tree_, menu_, wires_, library_,
+                                        assignment_, driver_res_ohm_, devices)
+      .root_rat_ps;
+}
+
+}  // namespace vabi::analysis

@@ -1,0 +1,70 @@
+// Statistical model of a *fixed* buffered tree.
+//
+// Once an optimizer has produced a buffer assignment, the evaluation
+// experiments (Tables 3-5, Fig. 6) need the root RAT of that design as a
+// canonical form under a chosen variation model -- typically the full WID
+// model, regardless of which (possibly blinder) model the optimizer used.
+// This class walks the tree once with the variation-aware key operations
+// (eqs. 33-38), characterizing every placed buffer in the supplied process
+// model, and exposes:
+//
+//   - the root RAT canonical form (the "model prediction" of Fig. 6);
+//   - per-sample ground-truth evaluation: one Monte-Carlo draw of all
+//     sources -> concrete device values -> exact Elmore RAT (no tightness-
+//     probability approximation, no normality assumption) for validation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "layout/process_model.hpp"
+#include "stats/linear_form.hpp"
+#include "timing/buffer_library.hpp"
+#include "timing/elmore.hpp"
+#include "timing/wire_model.hpp"
+#include "timing/wire_sizing.hpp"
+#include "tree/routing_tree.hpp"
+
+namespace vabi::analysis {
+
+class buffered_tree_model {
+ public:
+  buffered_tree_model(const tree::routing_tree& tree,
+                      const timing::wire_model& wire,
+                      const timing::buffer_library& library,
+                      const timing::buffer_assignment& assignment,
+                      layout::process_model& model, double driver_res_ohm);
+
+  /// Wire-sizing-aware variant: edges use the widths chosen in `wires` from
+  /// `menu` (the [8] extension).
+  buffered_tree_model(const tree::routing_tree& tree,
+                      const timing::wire_menu& menu,
+                      const timing::wire_assignment& wires,
+                      const timing::buffer_library& library,
+                      const timing::buffer_assignment& assignment,
+                      layout::process_model& model, double driver_res_ohm);
+
+  /// Canonical form of the root RAT (driver delay included).
+  const stats::linear_form& root_rat() const { return root_rat_; }
+
+  /// Exact Elmore root RAT for one concrete draw of every variation source
+  /// (`sample[id]` = value of source id, as produced by monte_carlo_sampler).
+  double evaluate_sample(std::span<const double> sample) const;
+
+  std::size_t num_buffers() const { return num_buffers_; }
+
+ private:
+  const tree::routing_tree& tree_;
+  timing::wire_menu menu_;
+  timing::wire_assignment wires_;
+  const timing::buffer_library& library_;
+  timing::buffer_assignment assignment_;
+  double driver_res_ohm_ = 0.0;
+  stats::linear_form root_rat_;
+  std::size_t num_buffers_ = 0;
+  /// Characterized forms of the buffer instance at each node (parallel to the
+  /// tree's node ids; empty forms where no buffer is placed).
+  std::vector<layout::device_variation> devices_;
+};
+
+}  // namespace vabi::analysis

@@ -1,0 +1,128 @@
+#include "analysis/clock_skew.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/normal.hpp"
+
+namespace vabi::analysis {
+
+skew_analysis analyze_clock_skew(const tree::routing_tree& tree,
+                                 const timing::wire_model& wire,
+                                 const timing::buffer_library& library,
+                                 const timing::buffer_assignment& assignment,
+                                 layout::process_model& model,
+                                 double driver_res_ohm) {
+  if (assignment.num_nodes() != tree.num_nodes()) {
+    throw std::invalid_argument("analyze_clock_skew: assignment mismatch");
+  }
+
+  // Pass 1 (bottom-up): downstream load at each node as a canonical form,
+  // including the buffer substitution (eq. 35); remember each instance's
+  // characterized forms for the delay pass.
+  std::vector<stats::linear_form> load(tree.num_nodes());
+  std::vector<layout::device_variation> devices(tree.num_nodes());
+  const auto order = tree.postorder();
+  for (tree::node_id id : order) {
+    const auto& n = tree.node(id);
+    if (n.is_sink()) {
+      load[id] = stats::linear_form{n.sink_cap_pf};
+    } else {
+      stats::linear_form l{0.0};
+      for (tree::node_id c : n.children) {
+        stats::linear_form cl = load[c];
+        cl += wire.wire_cap(tree.node(c).parent_wire_um);
+        l += cl;
+      }
+      load[id] = std::move(l);
+    }
+    if (assignment.has_buffer(id)) {
+      if (n.is_source()) {
+        throw std::invalid_argument(
+            "analyze_clock_skew: buffer at the source is not legal");
+      }
+      const auto& type = library[assignment.buffer(id)];
+      devices[id] = model.characterize(n.location, type.cap_pf, type.delay_ps);
+      load[id] = devices[id].cap;
+    }
+  }
+
+  // Pass 2 (top-down, reverse postorder): arrival time at each node's
+  // *driving point*. A buffer at node t adds T_b + R_b * L(below t) before
+  // the subtree; the wire p->c adds the Elmore delay r*l*(c*l/2 + L(c)).
+  std::vector<stats::linear_form> arrival(tree.num_nodes());
+  arrival[tree.root()] = driver_res_ohm * load[tree.root()];
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const tree::node_id id = *it;
+    const auto& n = tree.node(id);
+    if (!n.is_source()) {
+      const double l = n.parent_wire_um;
+      stats::linear_form at = arrival[n.parent];
+      // Wire delay into this node's pre-buffer load... the load seen by the
+      // wire is the node's presented load, which already reflects a buffer
+      // here (its input cap) -- matching the Elmore engine's semantics where
+      // the wire drives the buffer input.
+      at += wire.res_per_um * l * load[id];
+      at += 0.5 * wire.res_per_um * wire.cap_per_um * l * l;
+      if (assignment.has_buffer(id)) {
+        // Buffer delay uses the load *behind* the buffer: recompute it from
+        // the children (or the sink cap), exactly as pass 1 did pre-override.
+        stats::linear_form behind{0.0};
+        if (n.is_sink()) {
+          behind = stats::linear_form{n.sink_cap_pf};
+        } else {
+          for (tree::node_id c : n.children) {
+            stats::linear_form cl = load[c];
+            cl += wire.wire_cap(tree.node(c).parent_wire_um);
+            behind += cl;
+          }
+        }
+        at += devices[id].delay;
+        at += library[assignment.buffer(id)].res_ohm * behind;
+      }
+      arrival[id] = std::move(at);
+    }
+  }
+
+  // Pass 3: statistical max / min over sink arrivals. The nominal extremes
+  // are tracked against the raw per-sink means (the running max's mean keeps
+  // ratcheting upward, so comparing against it would freeze the argmax).
+  skew_analysis out;
+  bool first = true;
+  double latest_mean = 0.0;
+  double earliest_mean = 0.0;
+  for (tree::node_id s : tree.sinks()) {
+    if (first) {
+      out.latest_arrival = arrival[s];
+      out.earliest_arrival = arrival[s];
+      out.latest_sink = s;
+      out.earliest_sink = s;
+      latest_mean = arrival[s].mean();
+      earliest_mean = latest_mean;
+      first = false;
+      continue;
+    }
+    if (arrival[s].mean() > latest_mean) {
+      latest_mean = arrival[s].mean();
+      out.latest_sink = s;
+    }
+    if (arrival[s].mean() < earliest_mean) {
+      earliest_mean = arrival[s].mean();
+      out.earliest_sink = s;
+    }
+    out.latest_arrival =
+        stats::statistical_max(out.latest_arrival, arrival[s], model.space());
+    out.earliest_arrival =
+        stats::statistical_min(out.earliest_arrival, arrival[s], model.space());
+  }
+  out.skew = out.latest_arrival - out.earliest_arrival;
+  return out;
+}
+
+double skew_yield(const skew_analysis& analysis,
+                  const stats::variation_space& space, double target_ps) {
+  return 1.0 - stats::normal_exceedance(analysis.skew.mean(),
+                                        analysis.skew.stddev(space), target_ps);
+}
+
+}  // namespace vabi::analysis

@@ -1,0 +1,60 @@
+// Statistical clock-skew analysis of a buffered tree.
+//
+// The paper closes by proposing to apply the same 2P/canonical-form machinery
+// to clock skew minimization (Section 6, future work). This module supplies
+// the analysis half of that program: given a buffered clock tree under the
+// first-order variation model, it computes every sink's *arrival time* as a
+// canonical form (loads bottom-up, delays top-down), then the statistical
+// max / min over all sinks via the tightness-probability linearization, and
+// finally the skew
+//
+//   skew = max_i AT_i - min_j AT_j
+//
+// as a canonical form. Because the max, the min, and every arrival time share
+// variation sources, the subtraction keeps their (strong) correlation -- the
+// skew sigma is far smaller than the arrival-time sigmas when variation is
+// shared (inter-die / nearby-spatial), which is exactly the effect a clock
+// designer cares about.
+#pragma once
+
+#include "layout/process_model.hpp"
+#include "stats/linear_form.hpp"
+#include "timing/buffer_library.hpp"
+#include "timing/elmore.hpp"
+#include "timing/wire_model.hpp"
+#include "tree/routing_tree.hpp"
+
+namespace vabi::analysis {
+
+/// NOTE on the skew variance: when many sinks are near-tied (a well-balanced
+/// clock tree -- the interesting case), the linearized max/min forms average
+/// their coefficients across the tied sinks, so `skew`'s canonical form can
+/// report a much smaller sigma than Monte Carlo would. The *mean* skew is the
+/// reliable figure of merit; treat the sigma as a lower bound and use
+/// Monte-Carlo sampling of the per-sink arrivals when a calibrated skew
+/// distribution is needed.
+struct skew_analysis {
+  stats::linear_form latest_arrival;    ///< statistical max over sinks (ps)
+  stats::linear_form earliest_arrival;  ///< statistical min over sinks (ps)
+  stats::linear_form skew;              ///< latest - earliest, correlated (ps)
+  /// Sinks attaining the nominal extremes (useful for debugging a tree).
+  tree::node_id latest_sink = tree::invalid_node;
+  tree::node_id earliest_sink = tree::invalid_node;
+};
+
+/// Analyzes the skew of `tree` with buffers `assignment` under `model`.
+/// Buffer instances are characterized at their tree locations (fresh sources
+/// in `model`'s space). `driver_res_ohm` contributes the source driver delay,
+/// which is common mode and cancels out of the skew.
+skew_analysis analyze_clock_skew(const tree::routing_tree& tree,
+                                 const timing::wire_model& wire,
+                                 const timing::buffer_library& library,
+                                 const timing::buffer_assignment& assignment,
+                                 layout::process_model& model,
+                                 double driver_res_ohm);
+
+/// P(skew <= target) under the canonical-form model.
+double skew_yield(const skew_analysis& analysis,
+                  const stats::variation_space& space, double target_ps);
+
+}  // namespace vabi::analysis

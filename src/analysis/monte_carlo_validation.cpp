@@ -1,0 +1,32 @@
+#include "analysis/monte_carlo_validation.hpp"
+
+#include "stats/monte_carlo.hpp"
+
+namespace vabi::analysis {
+
+rat_validation validate_rat_model(const buffered_tree_model& design,
+                                  const layout::process_model& model,
+                                  std::size_t num_samples,
+                                  std::uint64_t seed) {
+  stats::monte_carlo_sampler sampler{model.space(), seed};
+  std::vector<double> rats;
+  rats.reserve(num_samples);
+  std::vector<double> sample;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    sampler.draw(sample);
+    rats.push_back(design.evaluate_sample(sample));
+  }
+
+  rat_validation v;
+  v.model_mean_ps = design.root_rat().mean();
+  v.model_sigma_ps = design.root_rat().stddev(model.space());
+  v.mc_moments = stats::compute_moments(rats);
+  v.samples = stats::empirical_distribution{std::move(rats)};
+  if (v.model_sigma_ps > 0.0) {
+    v.ks_distance =
+        v.samples.ks_distance_to_normal(v.model_mean_ps, v.model_sigma_ps);
+  }
+  return v;
+}
+
+}  // namespace vabi::analysis

@@ -1,0 +1,29 @@
+// Monte-Carlo validation of the canonical-form RAT model (paper Fig. 6).
+//
+// Draws samples of every variation source, evaluates the buffered tree's
+// exact Elmore RAT per draw, and compares the empirical distribution to the
+// normal predicted by the canonical form. The paper's claim is that the two
+// PDFs nearly coincide; we report the mean/sigma deltas and the KS distance.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/buffered_tree_model.hpp"
+#include "stats/empirical.hpp"
+
+namespace vabi::analysis {
+
+struct rat_validation {
+  double model_mean_ps = 0.0;
+  double model_sigma_ps = 0.0;
+  stats::sample_moments mc_moments;
+  double ks_distance = 0.0;  ///< empirical vs N(model_mean, model_sigma)
+  stats::empirical_distribution samples{std::vector<double>{0.0}};
+};
+
+/// Runs `num_samples` Monte-Carlo draws against `model`'s process model.
+rat_validation validate_rat_model(const buffered_tree_model& design,
+                                  const layout::process_model& model,
+                                  std::size_t num_samples, std::uint64_t seed);
+
+}  // namespace vabi::analysis

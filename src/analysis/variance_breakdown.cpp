@@ -1,0 +1,28 @@
+#include "analysis/variance_breakdown.hpp"
+
+namespace vabi::analysis {
+
+variance_breakdown decompose_variance(const stats::linear_form& form,
+                                      const stats::variation_space& space) {
+  variance_breakdown out;
+  for (const auto& term : form.terms()) {
+    const double var = term.coeff * term.coeff * space.variance(term.id);
+    switch (space.kind(term.id)) {
+      case stats::source_kind::random_device:
+        out.random_device += var;
+        break;
+      case stats::source_kind::spatial:
+        out.spatial += var;
+        break;
+      case stats::source_kind::inter_die:
+        out.inter_die += var;
+        break;
+      case stats::source_kind::parametric:
+        out.parametric += var;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace vabi::analysis

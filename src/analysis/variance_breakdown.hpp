@@ -1,0 +1,38 @@
+// Variance decomposition of a canonical form by variation class.
+//
+// Because the X_i are independent, the variance of any canonical form splits
+// exactly across the source classes (random device / spatial / inter-die /
+// parametric). The breakdown answers the designer's question behind the
+// paper's D2D-vs-WID comparison directly: *which* variation class dominates
+// a design's RAT spread, and hence which mitigation (sizing, placement,
+// binning) pays.
+#pragma once
+
+#include <array>
+
+#include "stats/linear_form.hpp"
+#include "stats/variation_space.hpp"
+
+namespace vabi::analysis {
+
+struct variance_breakdown {
+  double random_device = 0.0;
+  double spatial = 0.0;
+  double inter_die = 0.0;
+  double parametric = 0.0;
+
+  double total() const {
+    return random_device + spatial + inter_die + parametric;
+  }
+  /// Fraction contributed by one class (0 when the form is deterministic).
+  double fraction(double part) const {
+    const double t = total();
+    return t > 0.0 ? part / t : 0.0;
+  }
+};
+
+/// Exact per-class variance of `form` over `space`.
+variance_breakdown decompose_variance(const stats::linear_form& form,
+                                      const stats::variation_space& space);
+
+}  // namespace vabi::analysis

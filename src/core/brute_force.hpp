@@ -1,0 +1,22 @@
+// Exhaustive buffer insertion -- the test oracle.
+//
+// Enumerates every assignment of {no buffer, type 0, ..., type B-1} to every
+// legal position and evaluates each with the Elmore engine. Exponential
+// ((B+1)^positions), so only usable on tiny trees; the unit tests use it to
+// certify that the DP engines are exactly optimal in the deterministic
+// setting and near-optimal in the statistical one.
+#pragma once
+
+#include "core/van_ginneken.hpp"
+
+namespace vabi::core {
+
+/// Maximum positions the oracle accepts ((B+1)^positions assignments).
+inline constexpr std::size_t brute_force_max_positions = 16;
+
+/// Finds the RAT-optimal assignment by exhaustive search. Throws
+/// std::invalid_argument when the tree is too large to enumerate.
+det_result brute_force_insertion(const tree::routing_tree& tree,
+                                 const det_options& options);
+
+}  // namespace vabi::core

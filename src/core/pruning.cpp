@@ -1,0 +1,220 @@
+#include "core/pruning.hpp"
+
+#include <algorithm>
+
+#include "stats/linear_form.hpp"
+#include "stats/normal.hpp"
+
+namespace vabi::core {
+
+namespace {
+
+/// P(x < y) with the identical-form tie convention (see file comment of
+/// pruning.hpp): identical forms count as satisfying the condition.
+bool prob_less_at_least(const stats::linear_form& x,
+                        const stats::linear_form& y, double p,
+                        const stats::variation_space& space) {
+  if (x == y) return true;
+  return stats::prob_greater(y, x, space) >= p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Deterministic.
+// ---------------------------------------------------------------------------
+
+bool det_dominates(const det_candidate& a, const det_candidate& b) {
+  return a.load_pf <= b.load_pf && a.rat_ps >= b.rat_ps;
+}
+
+void prune_deterministic(std::vector<det_candidate>& list, dp_stats& stats) {
+  if (list.size() <= 1) return;
+  std::sort(list.begin(), list.end(),
+            [](const det_candidate& a, const det_candidate& b) {
+              if (a.load_pf != b.load_pf) return a.load_pf < b.load_pf;
+              return a.rat_ps > b.rat_ps;
+            });
+  std::vector<det_candidate> kept;
+  kept.reserve(list.size());
+  for (auto& c : list) {
+    if (!kept.empty() && kept.back().rat_ps >= c.rat_ps) {
+      ++stats.candidates_pruned;  // dominated by the last kept candidate
+      continue;
+    }
+    kept.push_back(std::move(c));
+  }
+  list = std::move(kept);
+}
+
+// ---------------------------------------------------------------------------
+// Two-parameter rule.
+// ---------------------------------------------------------------------------
+
+bool dominates(const two_param_rule& rule, const stat_candidate& a,
+               const stat_candidate& b, const stats::variation_space& space) {
+  if (rule.is_mean_rule()) {
+    // Lemma 4: P(. > .) >= 0.5 is exactly a comparison of means (also for
+    // degenerate zero-variance differences, per the tie convention).
+    return a.load.mean() <= b.load.mean() && a.rat.mean() >= b.rat.mean();
+  }
+  return prob_less_at_least(a.load, b.load, rule.p_load, space) &&
+         prob_less_at_least(b.rat, a.rat, rule.p_rat, space);
+}
+
+void prune_two_param(const two_param_rule& rule,
+                     std::vector<stat_candidate>& list,
+                     const stats::variation_space& space, dp_stats& stats) {
+  if (list.size() <= 1) return;
+  std::sort(list.begin(), list.end(),
+            [](const stat_candidate& a, const stat_candidate& b) {
+              if (a.load.mean() != b.load.mean()) {
+                return a.load.mean() < b.load.mean();
+              }
+              return a.rat.mean() > b.rat.mean();
+            });
+  std::vector<stat_candidate> kept;
+  kept.reserve(list.size());
+  const std::size_t window = std::max<std::size_t>(1, rule.sweep_window);
+  for (auto& c : list) {
+    bool pruned = false;
+    // Under the mean rule the order is total and transitive, so comparing
+    // against the last kept candidate alone is exact; for p > 0.5 we scan a
+    // small window of recent survivors (the paper's practical linearization).
+    const std::size_t scan =
+        std::min(rule.is_mean_rule() ? std::size_t{1} : window, kept.size());
+    for (std::size_t k = 1; k <= scan && !pruned; ++k) {
+      pruned = dominates(rule, kept[kept.size() - k], c, space);
+    }
+    if (pruned) {
+      ++stats.candidates_pruned;
+      continue;
+    }
+    kept.push_back(std::move(c));
+  }
+  list = std::move(kept);
+}
+
+// ---------------------------------------------------------------------------
+// Four-parameter rule.
+// ---------------------------------------------------------------------------
+
+bool dominates(const four_param_rule& rule, const stat_candidate& a,
+               const stat_candidate& b, const stats::variation_space& space) {
+  // Load condition (eq. 2): pi_{alpha_u}(L_a) < pi_{alpha_l}(L_b), with the
+  // identical-form tie convention.
+  bool load_ok = false;
+  if (a.load == b.load) {
+    load_ok = true;
+  } else {
+    const double a_hi =
+        stats::percentile(a.load, space, rule.alpha_hi);
+    const double b_lo =
+        stats::percentile(b.load, space, rule.alpha_lo);
+    load_ok = a_hi < b_lo;
+  }
+  if (!load_ok) return false;
+
+  // RAT condition (eq. 3): pi_{beta_l}(T_a) > pi_{beta_u}(T_b).
+  if (a.rat == b.rat) return true;
+  const double a_lo = stats::percentile(a.rat, space, rule.beta_lo);
+  const double b_hi = stats::percentile(b.rat, space, rule.beta_hi);
+  return a_lo > b_hi;
+}
+
+void prune_four_param(const four_param_rule& rule,
+                      std::vector<stat_candidate>& list,
+                      const stats::variation_space& space, dp_stats& stats,
+                      std::size_t max_comparisons) {
+  const std::size_t n = list.size();
+  if (n <= 1) return;
+  std::size_t comparisons = 0;
+  // Cache the percentile corners; the pairwise pass then costs O(n^2)
+  // comparisons of doubles rather than O(n^2) sigma evaluations.
+  struct corners {
+    double load_lo, load_hi, rat_lo, rat_hi;
+  };
+  std::vector<corners> c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lm = list[i].load.mean();
+    const double ls = list[i].load.stddev(space);
+    const double rm = list[i].rat.mean();
+    const double rs = list[i].rat.stddev(space);
+    c[i] = {stats::normal_percentile(lm, ls, rule.alpha_lo),
+            stats::normal_percentile(lm, ls, rule.alpha_hi),
+            stats::normal_percentile(rm, rs, rule.beta_lo),
+            stats::normal_percentile(rm, rs, rule.beta_hi)};
+  }
+  std::vector<bool> dead(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dead[i]) continue;
+    if (max_comparisons != 0 && comparisons > max_comparisons) break;
+    comparisons += n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || dead[j]) continue;
+      const bool load_ok =
+          (list[i].load == list[j].load) || (c[i].load_hi < c[j].load_lo);
+      if (!load_ok) continue;
+      const bool rat_ok =
+          (list[i].rat == list[j].rat) || (c[i].rat_lo > c[j].rat_hi);
+      if (rat_ok) dead[j] = true;
+    }
+  }
+  std::vector<stat_candidate> kept;
+  kept.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dead[i]) {
+      ++stats.candidates_pruned;
+    } else {
+      kept.push_back(std::move(list[i]));
+    }
+  }
+  list = std::move(kept);
+}
+
+// ---------------------------------------------------------------------------
+// Corner rule.
+// ---------------------------------------------------------------------------
+
+bool dominates(const corner_rule& rule, const stat_candidate& a,
+               const stat_candidate& b, const stats::variation_space& space) {
+  const double la = stats::percentile(a.load, space, rule.percentile);
+  const double lb = stats::percentile(b.load, space, rule.percentile);
+  const double ta = stats::percentile(a.rat, space, 1.0 - rule.percentile);
+  const double tb = stats::percentile(b.rat, space, 1.0 - rule.percentile);
+  return la <= lb && ta >= tb;
+}
+
+void prune_corner(const corner_rule& rule, std::vector<stat_candidate>& list,
+                  const stats::variation_space& space, dp_stats& stats) {
+  if (list.size() <= 1) return;
+  struct projected {
+    double load_q, rat_q;
+    stat_candidate c;
+  };
+  std::vector<projected> proj;
+  proj.reserve(list.size());
+  for (auto& c : list) {
+    proj.push_back({stats::percentile(c.load, space, rule.percentile),
+                    stats::percentile(c.rat, space, 1.0 - rule.percentile),
+                    std::move(c)});
+  }
+  std::sort(proj.begin(), proj.end(), [](const projected& a, const projected& b) {
+    if (a.load_q != b.load_q) return a.load_q < b.load_q;
+    return a.rat_q > b.rat_q;
+  });
+  std::vector<stat_candidate> kept;
+  kept.reserve(proj.size());
+  double best_rat = -std::numeric_limits<double>::infinity();
+  for (auto& p : proj) {
+    if (p.rat_q <= best_rat) {
+      ++stats.candidates_pruned;
+      continue;
+    }
+    best_rat = p.rat_q;
+    kept.push_back(std::move(p.c));
+  }
+  list = std::move(kept);
+}
+
+}  // namespace vabi::core

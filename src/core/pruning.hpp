@@ -1,0 +1,133 @@
+// Dominance (pruning) rules between candidate solutions.
+//
+// Deterministic van Ginneken prunes (L2, T2) when L1 <= L2 and T1 >= T2 (not
+// both equal-worse). Under process variation L and T are correlated random
+// variables and "dominates" must be re-defined. This module implements the
+// rules compared by the paper:
+//
+//   - two_param_rule (2P; the contribution, Section 2.3):
+//       P(L1 < L2) >= p_L  and  P(T1 > T2) >= p_T,    0.5 <= p <= 1.
+//     Probabilities are exact under the joint-normal canonical-form model
+//     (eq. 8). At p = 0.5 the rule degenerates to comparing *means*
+//     (Lemma 4), which is a total, transitive order (Lemmas 2-3, Theorem 2):
+//     candidate lists can be kept sorted, merged and pruned in linear time,
+//     giving the deterministic O(B N^2) overall complexity (Theorem 1).
+//
+//   - four_param_rule (4P; the DATE 2005 baseline [7], Section 2.2):
+//       pi_{a_u}(L1) < pi_{a_l}(L2)  and  pi_{b_l}(T1) > pi_{b_u}(T2)
+//     with pi_p the p-quantile (eq. 1). Only a partial order: merge is
+//     O(n*m) and pruning O(N^2), with no bound on surviving candidates.
+//
+//   - corner_rule (1P; the simplification of [8]): projects every candidate
+//     onto single conservative corner values L_hat = pi_q(L), T_hat =
+//     pi_{1-q}(T) and applies the deterministic rule to the projections.
+//     Total order (hence fast) but ignores correlation between solutions.
+//
+// Tie semantics: identical canonical forms satisfy either side of a
+// condition. This mirrors the deterministic "not both equal" convention and
+// matters in practice: all buffered candidates generated at one node with one
+// buffer type share the *same* load form (same physical device), and without
+// the tie rule no statistical rule could ever prune among them.
+#pragma once
+
+#include <vector>
+
+#include "core/solution.hpp"
+#include "stats/variation_space.hpp"
+
+namespace vabi::core {
+
+// ---------------------------------------------------------------------------
+// Deterministic rule.
+// ---------------------------------------------------------------------------
+
+/// True when `a` dominates `b` (b is redundant).
+bool det_dominates(const det_candidate& a, const det_candidate& b);
+
+/// Prunes `list` to its non-dominated subset. On return the list is sorted by
+/// (load asc, rat asc). Linear after the sort. `stats` accrues prune counts.
+void prune_deterministic(std::vector<det_candidate>& list, dp_stats& stats);
+
+// ---------------------------------------------------------------------------
+// Two-parameter rule (2P).
+// ---------------------------------------------------------------------------
+
+struct two_param_rule {
+  double p_load = 0.5;  ///< \bar{p_L} of eq. (6), in [0.5, 1]
+  double p_rat = 0.5;   ///< \bar{p_T} of eq. (7), in [0.5, 1]
+
+  /// How many most-recent kept candidates a sweep compares against when
+  /// p > 0.5 (where the order is no longer total). 1 reproduces the strictly
+  /// linear sweep; small values >1 prune slightly more at negligible cost.
+  std::size_t sweep_window = 4;
+
+  bool is_mean_rule() const { return p_load == 0.5 && p_rat == 0.5; }
+};
+
+bool dominates(const two_param_rule& rule, const stat_candidate& a,
+               const stat_candidate& b, const stats::variation_space& space);
+
+/// Sorts by (mean load asc, mean rat desc) and sweeps once. Exact (keeps
+/// precisely the non-dominated set) when p_load == p_rat == 0.5; for larger
+/// parameters it is the paper's practical linear approximation.
+void prune_two_param(const two_param_rule& rule,
+                     std::vector<stat_candidate>& list,
+                     const stats::variation_space& space, dp_stats& stats);
+
+// ---------------------------------------------------------------------------
+// Four-parameter rule (4P) -- the DATE 2005 baseline.
+// ---------------------------------------------------------------------------
+
+struct four_param_rule {
+  double alpha_lo = 0.05;  ///< \pi_{\alpha_l} percentile for the load
+  double alpha_hi = 0.95;  ///< \pi_{\alpha_u}
+  double beta_lo = 0.05;   ///< \pi_{\beta_l} percentile for the RAT
+  double beta_hi = 0.95;   ///< \pi_{\beta_u}
+};
+
+bool dominates(const four_param_rule& rule, const stat_candidate& a,
+               const stat_candidate& b, const stats::variation_space& space);
+
+/// Pairwise O(N^2) pruning -- the best one can do under a partial order.
+/// `max_comparisons` bounds the quadratic work (0 = unlimited): when the
+/// budget runs out the remaining candidates are kept unpruned (safe --
+/// pruning less never loses solutions) and `stats.aborted` is left untouched
+/// so the caller's resource caps decide the run's fate.
+void prune_four_param(const four_param_rule& rule,
+                      std::vector<stat_candidate>& list,
+                      const stats::variation_space& space, dp_stats& stats,
+                      std::size_t max_comparisons = 0);
+
+// ---------------------------------------------------------------------------
+// Corner rule (1P).
+// ---------------------------------------------------------------------------
+
+struct corner_rule {
+  double percentile = 0.95;  ///< q; load corner at q, RAT corner at 1-q
+};
+
+bool dominates(const corner_rule& rule, const stat_candidate& a,
+               const stat_candidate& b, const stats::variation_space& space);
+
+/// Linear sweep on the corner projections (total order).
+void prune_corner(const corner_rule& rule, std::vector<stat_candidate>& list,
+                  const stats::variation_space& space, dp_stats& stats);
+
+// ---------------------------------------------------------------------------
+// Test support.
+// ---------------------------------------------------------------------------
+
+/// True if no candidate in `list` dominates another (used by property tests).
+template <typename Rule>
+bool is_mutually_non_dominated(const Rule& rule,
+                               const std::vector<stat_candidate>& list,
+                               const stats::variation_space& space) {
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      if (i != j && dominates(rule, list[i], list[j], space)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vabi::core

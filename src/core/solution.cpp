@@ -1,0 +1,40 @@
+#include "core/solution.hpp"
+
+#include <vector>
+
+namespace vabi::core {
+
+design_choice extract_design(const decision* root, std::size_t num_nodes) {
+  design_choice out{timing::buffer_assignment(num_nodes),
+                    timing::wire_assignment(num_nodes)};
+  std::vector<const decision*> stack;
+  if (root != nullptr) stack.push_back(root);
+  while (!stack.empty()) {
+    const decision* d = stack.back();
+    stack.pop_back();
+    switch (d->what) {
+      case decision::kind::leaf:
+        break;
+      case decision::kind::buffer:
+        out.buffers.place(d->node, d->buffer);
+        if (d->left != nullptr) stack.push_back(d->left);
+        break;
+      case decision::kind::wire:
+        out.wires.set(d->node, static_cast<timing::width_index>(d->buffer));
+        if (d->left != nullptr) stack.push_back(d->left);
+        break;
+      case decision::kind::merge:
+        if (d->left != nullptr) stack.push_back(d->left);
+        if (d->right != nullptr) stack.push_back(d->right);
+        break;
+    }
+  }
+  return out;
+}
+
+timing::buffer_assignment extract_assignment(const decision* root,
+                                             std::size_t num_nodes) {
+  return extract_design(root, num_nodes).buffers;
+}
+
+}  // namespace vabi::core

@@ -1,0 +1,109 @@
+// Candidate solutions of the buffer-insertion DP, and the decision arena
+// used to backtrack the chosen optimum into a concrete buffer assignment.
+//
+// A candidate at node t is the pair (L_t, T_t) of paper Section 2.1:
+// deterministic doubles for van Ginneken, canonical linear forms for the
+// variation-aware engines. Every candidate carries an immutable pointer into
+// a decision DAG recording how it was built (buffer inserted here / merge of
+// two subtree candidates); wires do not create decisions since they are
+// implied by the tree structure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "stats/linear_form.hpp"
+#include "timing/buffer_library.hpp"
+#include "timing/elmore.hpp"
+#include "timing/wire_sizing.hpp"
+#include "tree/routing_tree.hpp"
+
+namespace vabi::core {
+
+/// One construction step of a candidate. Nodes form a DAG (shared subtrees
+/// are common after merging), allocated from a decision_arena.
+struct decision {
+  enum class kind : std::uint8_t { leaf, buffer, merge, wire };
+
+  kind what = kind::leaf;
+  tree::node_id node = tree::invalid_node;      ///< buffer/wire: which node/edge
+  timing::buffer_index buffer = 0;              ///< buffer: type; wire: width
+  const decision* left = nullptr;               ///< buffer/wire: prior; merge: a
+  const decision* right = nullptr;              ///< merge: b
+};
+
+/// Stable-address arena for decisions (std::deque never relocates).
+class decision_arena {
+ public:
+  const decision* leaf() {
+    return &pool_.emplace_back(decision{decision::kind::leaf, tree::invalid_node,
+                                        0, nullptr, nullptr});
+  }
+  const decision* buffered(tree::node_id node, timing::buffer_index b,
+                           const decision* prior) {
+    return &pool_.emplace_back(
+        decision{decision::kind::buffer, node, b, prior, nullptr});
+  }
+  const decision* merged(const decision* a, const decision* b) {
+    return &pool_.emplace_back(
+        decision{decision::kind::merge, tree::invalid_node, 0, a, b});
+  }
+  /// Width choice for the edge above `node` (only recorded when wire sizing
+  /// is enabled; width is stored in the `buffer` slot).
+  const decision* wire_sized(tree::node_id node, timing::width_index width,
+                             const decision* prior) {
+    return &pool_.emplace_back(decision{decision::kind::wire, node,
+                                        static_cast<timing::buffer_index>(width),
+                                        prior, nullptr});
+  }
+
+  std::size_t size() const { return pool_.size(); }
+
+ private:
+  std::deque<decision> pool_;
+};
+
+/// Walks a decision DAG and records every buffer placement into an
+/// assignment sized for `num_nodes` tree nodes.
+timing::buffer_assignment extract_assignment(const decision* root,
+                                             std::size_t num_nodes);
+
+/// Buffers and wire widths of one complete solution.
+struct design_choice {
+  timing::buffer_assignment buffers;
+  timing::wire_assignment wires;
+};
+
+/// Like extract_assignment, but also recovers per-edge wire widths (edges
+/// without a wire decision keep width index 0).
+design_choice extract_design(const decision* root, std::size_t num_nodes);
+
+/// Deterministic candidate (van Ginneken).
+struct det_candidate {
+  double load_pf = 0.0;
+  double rat_ps = 0.0;
+  const decision* why = nullptr;
+};
+
+/// Variation-aware candidate: L and T as canonical forms over the shared
+/// variation space (paper eqs. 31-32).
+struct stat_candidate {
+  stats::linear_form load;  ///< pF
+  stats::linear_form rat;   ///< ps
+  const decision* why = nullptr;
+};
+
+/// Instrumentation accumulated by the DP engines. The runtime / capacity
+/// comparison of Table 2 and the scalability study of Fig. 5 read these.
+struct dp_stats {
+  std::size_t candidates_created = 0;  ///< all candidates ever materialized
+  std::size_t candidates_pruned = 0;   ///< discarded by the dominance rule
+  std::size_t merge_pairs = 0;         ///< pair combinations evaluated
+  std::size_t peak_list_size = 0;      ///< largest per-node candidate list
+  double wall_seconds = 0.0;
+  bool aborted = false;                ///< a resource cap fired (4P runs)
+  std::string abort_reason;
+};
+
+}  // namespace vabi::core

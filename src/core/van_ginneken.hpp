@@ -1,0 +1,44 @@
+// Deterministic van Ginneken buffer insertion (paper Section 2.1; [4], [10]).
+//
+// Bottom-up DP over the routing tree: candidate (L, T) lists are propagated
+// through wires (eqs. 25-26), merged at branches with the classic linear
+// merge (Fig. 1), pruned with the dominance rule, and extended with one
+// buffered candidate per library type (eqs. 27-28). Overall O(B * N^2) for B
+// buffer types and N legal positions. This is the paper's "NOM" optimizer and
+// the structural template the statistical engine follows.
+#pragma once
+
+#include <vector>
+
+#include "core/solution.hpp"
+#include "timing/buffer_library.hpp"
+#include "timing/elmore.hpp"
+#include "timing/wire_model.hpp"
+#include "tree/routing_tree.hpp"
+
+namespace vabi::core {
+
+struct det_options {
+  timing::wire_model wire;
+  timing::buffer_library library;
+  /// Output resistance of the source driver; its delay r_d * L_root is
+  /// charged when selecting the winning root candidate.
+  double driver_res_ohm = 100.0;
+  /// Wire-width menu for simultaneous buffer insertion and wire sizing (the
+  /// extension of [8]): every edge picks one multiplier (r/m, c*m). A single
+  /// entry disables sizing and adds no overhead.
+  std::vector<double> wire_width_multipliers = {1.0};
+};
+
+struct det_result {
+  double root_rat_ps = 0.0;  ///< RAT at the source of the winning solution
+  timing::buffer_assignment assignment;
+  timing::wire_assignment wires;  ///< meaningful when sizing is enabled
+  std::size_t num_buffers = 0;
+  dp_stats stats;
+};
+
+det_result run_van_ginneken(const tree::routing_tree& tree,
+                            const det_options& options);
+
+}  // namespace vabi::core

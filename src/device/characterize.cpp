@@ -1,0 +1,107 @@
+#include "device/characterize.hpp"
+
+#include <array>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace vabi::device {
+
+characterization_result characterize_buffer(
+    const transistor_model& model, const characterization_config& config) {
+  if (config.samples < 16) {
+    throw std::invalid_argument("characterize_buffer: too few samples");
+  }
+  auto rng = stats::make_rng(config.seed);
+  std::normal_distribution<double> unit(0.0, 1.0);
+
+  const process_point nominal = model.config().nominal;
+  std::vector<std::vector<double>> deviations;  // rows: [dleff, dtox, dndop]
+  std::vector<double> caps;
+  std::vector<double> delays;
+  deviations.reserve(config.samples);
+  caps.reserve(config.samples);
+  delays.reserve(config.samples);
+
+  for (std::size_t i = 0; i < config.samples; ++i) {
+    const double dl = config.leff_sigma_frac * unit(rng);
+    const double dt = config.tox_sigma_frac * unit(rng);
+    const double dn = config.ndop_sigma_frac * unit(rng);
+    process_point p = nominal;
+    p.leff_nm *= (1.0 + dl);
+    p.tox_nm *= (1.0 + dt);
+    p.ndop_rel *= (1.0 + dn);
+    // Guard against extreme tail draws that leave the model's valid region;
+    // resample by skipping (keeps the design matrix well conditioned).
+    if (p.leff_nm <= 0.0 || p.tox_nm <= 0.0 || p.ndop_rel <= 0.0) {
+      --i;
+      continue;
+    }
+    extracted_device d;
+    try {
+      d = model.extract(p, config.buffer_size);
+    } catch (const std::domain_error&) {
+      --i;
+      continue;
+    }
+    deviations.push_back({dl, dt, dn});
+    caps.push_back(d.cap_pf);
+    delays.push_back(d.delay_ps);
+  }
+
+  // Fit only the parameters that actually vary: a zero-sigma parameter
+  // contributes a constant-zero column, which would make the normal
+  // equations singular. Coefficients of frozen parameters are reported as 0.
+  const std::array<double, 3> sigmas{config.leff_sigma_frac,
+                                     config.tox_sigma_frac,
+                                     config.ndop_sigma_frac};
+  std::vector<std::size_t> active;
+  for (std::size_t j = 0; j < sigmas.size(); ++j) {
+    if (sigmas[j] > 0.0) active.push_back(j);
+  }
+  if (active.empty()) {
+    throw std::invalid_argument(
+        "characterize_buffer: at least one parameter must vary");
+  }
+  std::vector<std::vector<double>> design(deviations.size());
+  for (std::size_t i = 0; i < deviations.size(); ++i) {
+    design[i].reserve(active.size());
+    for (std::size_t j : active) design[i].push_back(deviations[i][j]);
+  }
+  const auto expand = [&](stats::least_squares_fit fit) {
+    std::vector<double> full(3, 0.0);
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      full[active[k]] = fit.coeffs[k];
+    }
+    fit.coeffs = std::move(full);
+    return fit;
+  };
+
+  characterization_result r;
+  r.cap_fit = expand(stats::fit_linear(design, caps));
+  r.delay_fit = expand(stats::fit_linear(design, delays));
+  r.cap_nominal_pf = r.cap_fit.intercept;
+  r.delay_nominal_ps = r.delay_fit.intercept;
+
+  auto first_order_sigma = [&](const stats::least_squares_fit& fit) {
+    const double sl = fit.coeffs[0] * config.leff_sigma_frac;
+    const double st = fit.coeffs[1] * config.tox_sigma_frac;
+    const double sn = fit.coeffs[2] * config.ndop_sigma_frac;
+    return std::sqrt(sl * sl + st * st + sn * sn);
+  };
+  r.cap_sigma_pf = first_order_sigma(r.cap_fit);
+  r.delay_sigma_ps = first_order_sigma(r.delay_fit);
+
+  r.cap_moments = stats::compute_moments(caps);
+  r.delay_moments = stats::compute_moments(delays);
+
+  stats::empirical_distribution delay_dist{delays};
+  r.delay_ks_to_fitted_normal =
+      delay_dist.ks_distance_to_normal(r.delay_nominal_ps, r.delay_sigma_ps);
+  r.delay_samples = std::move(delays);
+  return r;
+}
+
+}  // namespace vabi::device

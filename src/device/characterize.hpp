@@ -1,0 +1,64 @@
+// First-order device characterization (paper Section 3.1, Fig. 3).
+//
+// Mirrors the paper's flow against our analytic SPICE stand-in:
+//   1. sample the process parameters (the paper varies L_eff with a normal
+//      sigma of 10% of its mean; T_ox and N_dop can be enabled too);
+//   2. extract C_b and T_b from the nonlinear model at every sample;
+//   3. least-squares fit the first-order forms of eqs. (19)-(20):
+//        C_b = C_b0 + sum alpha_i X_i,   T_b = T_b0 + sum beta_i X_i;
+//   4. quantify how normal the true (nonlinear) distribution is and how close
+//      the fitted normal is to it -- the content of Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/transistor_model.hpp"
+#include "stats/empirical.hpp"
+#include "stats/least_squares.hpp"
+
+namespace vabi::device {
+
+struct characterization_config {
+  std::size_t samples = 5000;
+  std::uint64_t seed = 42;
+  /// Relative one-sigma of each parameter (fraction of nominal). The paper's
+  /// Fig. 3 experiment varies only L_eff at 10%.
+  double leff_sigma_frac = 0.10;
+  double tox_sigma_frac = 0.0;
+  double ndop_sigma_frac = 0.0;
+  double buffer_size = 1.0;
+};
+
+/// Output of characterizing one buffer size against the nonlinear model.
+struct characterization_result {
+  /// Fits in the *relative deviation* basis: X = (param - nominal)/nominal.
+  /// coeffs order: [leff, tox, ndop] (only varied parameters meaningful).
+  stats::least_squares_fit cap_fit;
+  stats::least_squares_fit delay_fit;
+
+  /// Nominal values predicted by the fit at zero deviation (C_b0, T_b0).
+  double cap_nominal_pf = 0.0;
+  double delay_nominal_ps = 0.0;
+
+  /// Total first-order sigma implied by the fit coefficients.
+  double cap_sigma_pf = 0.0;
+  double delay_sigma_ps = 0.0;
+
+  /// Moments of the true (nonlinear) extracted samples.
+  stats::sample_moments cap_moments;
+  stats::sample_moments delay_moments;
+
+  /// Kolmogorov-Smirnov distance between the extracted delay samples and the
+  /// fitted normal N(delay_nominal, delay_sigma) -- Fig. 3's "the two PDFs
+  /// are very close" measured as a number.
+  double delay_ks_to_fitted_normal = 0.0;
+
+  /// The raw delay samples (for histogram rendering in the Fig. 3 bench).
+  std::vector<double> delay_samples;
+};
+
+characterization_result characterize_buffer(
+    const transistor_model& model, const characterization_config& config);
+
+}  // namespace vabi::device

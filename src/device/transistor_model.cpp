@@ -1,0 +1,52 @@
+#include "device/transistor_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vabi::device {
+
+transistor_model::transistor_model(const transistor_model_config& config,
+                                   timing::buffer_type reference)
+    : config_(config), reference_(std::move(reference)) {
+  const double vth = threshold_voltage(config_.nominal);
+  if (config_.vdd <= vth) {
+    throw std::invalid_argument(
+        "transistor_model: nominal device not in saturation");
+  }
+  nominal_drive_ = std::pow(config_.vdd - vth, config_.alpha);
+}
+
+double transistor_model::threshold_voltage(const process_point& p) const {
+  const process_point& n = config_.nominal;
+  return config_.vth0 + config_.k_dop * std::log(p.ndop_rel / n.ndop_rel) -
+         config_.k_dibl * (n.leff_nm / p.leff_nm - 1.0);
+}
+
+extracted_device transistor_model::extract(const process_point& p,
+                                           double size) const {
+  if (size <= 0.0) {
+    throw std::invalid_argument("transistor_model: size must be > 0");
+  }
+  const process_point& n = config_.nominal;
+  const double vth = threshold_voltage(p);
+  if (config_.vdd <= vth) {
+    throw std::domain_error("transistor_model: device out of saturation");
+  }
+
+  // All characteristics as ratios to their value at the nominal point, scaled
+  // by the calibrated reference buffer.
+  const double cap_ratio = (p.leff_nm / n.leff_nm) * (n.tox_nm / p.tox_nm);
+  const double drive_ratio = (n.leff_nm / p.leff_nm) * (n.tox_nm / p.tox_nm) *
+                             std::pow(config_.vdd - vth, config_.alpha) /
+                             nominal_drive_;
+
+  extracted_device d;
+  d.cap_pf = reference_.cap_pf * size * cap_ratio;
+  d.res_ohm = reference_.res_ohm / (size * drive_ratio);
+  // Intrinsic delay ~ R_out * C_par with C_par tracking the gate cap; the
+  // size dependence cancels (bigger device: lower R, higher C).
+  d.delay_ps = reference_.delay_ps * cap_ratio / drive_ratio;
+  return d;
+}
+
+}  // namespace vabi::device

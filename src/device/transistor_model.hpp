@@ -1,0 +1,75 @@
+// Analytic nonlinear buffer model -- the SPICE stand-in.
+//
+// The paper characterizes buffers with 65nm BSIM SPICE runs (Section 3.1);
+// SPICE and foundry models are not available here, so this module provides a
+// smooth *nonlinear* analytic substitute built from standard compact-model
+// physics (alpha-power-law drain current, short-channel V_th roll-off,
+// parallel-plate gate capacitance):
+//
+//   C_gate  ~  eps_ox / t_ox * W * L_eff
+//   V_th    =  V_th0 + k_dop * ln(N_dop / N_dop0) - k_dibl * (L_eff0/L_eff - 1)
+//   I_dsat  ~  (W / L_eff) * (1 / t_ox) * (V_dd - V_th)^alpha
+//   R_out   ~  V_dd / I_dsat
+//   T_b     ~  R_out * C_par,   C_par ~ C_gate
+//
+// What matters for the reproduction is not the constants but the *shape*: the
+// device response is a smooth nonlinear function of the process parameters,
+// so its distribution under parameter variation is not exactly normal, and
+// the first-order fit of Section 3.1 (Fig. 3) has something real to
+// approximate. The characterization flow (characterize.hpp) treats this model
+// exactly as the paper treats SPICE: sample, extract, least-squares fit.
+#pragma once
+
+#include "timing/buffer_library.hpp"
+
+namespace vabi::device {
+
+/// One point in process space. Values are physical, not deviations.
+struct process_point {
+  double leff_nm = 65.0;    ///< effective channel length
+  double tox_nm = 1.2;      ///< gate oxide thickness
+  double ndop_rel = 1.0;    ///< channel doping relative to nominal
+};
+
+/// Electrical characteristics extracted at one process point.
+struct extracted_device {
+  double cap_pf = 0.0;    ///< input (gate) capacitance
+  double delay_ps = 0.0;  ///< intrinsic delay
+  double res_ohm = 0.0;   ///< output resistance
+};
+
+struct transistor_model_config {
+  double vdd = 1.1;
+  double vth0 = 0.35;
+  double alpha = 1.3;      ///< velocity-saturation exponent
+  double k_dibl = 0.06;    ///< V_th roll-off strength vs channel length
+  double k_dop = 0.08;     ///< V_th sensitivity to doping (per ln N)
+  process_point nominal;   ///< process point the calibration targets
+};
+
+/// Smooth nonlinear map process point -> device characteristics, calibrated
+/// so that a width multiplier of `size` at the nominal process point
+/// reproduces `reference` (a buffer_library entry).
+class transistor_model {
+ public:
+  transistor_model(const transistor_model_config& config,
+                   timing::buffer_type reference);
+
+  /// Characteristics of a buffer of relative size `size` (W multiplier) at
+  /// process point `p`. Throws std::domain_error if the point drives the
+  /// device out of saturation (V_dd <= V_th).
+  extracted_device extract(const process_point& p, double size = 1.0) const;
+
+  /// Threshold voltage at a process point (exposed for tests).
+  double threshold_voltage(const process_point& p) const;
+
+  const transistor_model_config& config() const { return config_; }
+  const timing::buffer_type& reference() const { return reference_; }
+
+ private:
+  transistor_model_config config_;
+  timing::buffer_type reference_;
+  double nominal_drive_ = 0.0;  ///< (V_dd - V_th)^alpha at nominal
+};
+
+}  // namespace vabi::device

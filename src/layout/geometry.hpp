@@ -1,0 +1,62 @@
+// Planar geometry primitives. All coordinates are micrometers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace vabi::layout {
+
+/// A point on the die, in micrometers.
+struct point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const point&, const point&) = default;
+};
+
+inline double manhattan_distance(const point& a, const point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+inline double euclidean_distance(const point& a, const point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Axis-aligned bounding box, in micrometers.
+struct bbox {
+  point lo;  ///< south-west corner
+  point hi;  ///< north-east corner
+
+  double width() const { return hi.x - lo.x; }
+  double height() const { return hi.y - lo.y; }
+  double area() const { return width() * height(); }
+
+  bool contains(const point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  point clamp(const point& p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+
+  point center() const { return {0.5 * (lo.x + hi.x), 0.5 * (lo.y + hi.y)}; }
+
+  /// Grows the box to include `p`.
+  void expand(const point& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  friend bool operator==(const bbox&, const bbox&) = default;
+};
+
+/// A square die of the given side length anchored at the origin.
+inline bbox square_die(double side_um) {
+  return bbox{{0.0, 0.0}, {side_um, side_um}};
+}
+
+}  // namespace vabi::layout

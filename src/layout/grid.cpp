@@ -1,0 +1,61 @@
+#include "layout/grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vabi::layout {
+
+die_grid::die_grid(bbox die, double cell_size_um)
+    : die_(die), cell_size_(cell_size_um) {
+  if (cell_size_um <= 0.0 || die.width() <= 0.0 || die.height() <= 0.0) {
+    throw std::invalid_argument("die_grid: degenerate die or cell size");
+  }
+  cols_ = static_cast<std::size_t>(std::ceil(die.width() / cell_size_um));
+  rows_ = static_cast<std::size_t>(std::ceil(die.height() / cell_size_um));
+}
+
+cell_index die_grid::cell_of(const point& p) const {
+  const point q = die_.clamp(p);
+  auto col = static_cast<std::size_t>((q.x - die_.lo.x) / cell_size_);
+  auto row = static_cast<std::size_t>((q.y - die_.lo.y) / cell_size_);
+  if (col >= cols_) col = cols_ - 1;
+  if (row >= rows_) row = rows_ - 1;
+  return row * cols_ + col;
+}
+
+point die_grid::cell_center(cell_index c) const {
+  const std::size_t row = c / cols_;
+  const std::size_t col = c % cols_;
+  return {die_.lo.x + (static_cast<double>(col) + 0.5) * cell_size_,
+          die_.lo.y + (static_cast<double>(row) + 0.5) * cell_size_};
+}
+
+std::vector<cell_index> die_grid::cells_within(const point& p,
+                                               double radius_um) const {
+  std::vector<cell_index> out;
+  if (radius_um < 0.0) return out;
+  const point q = die_.clamp(p);
+  // Only scan the rectangle of candidate cells around p.
+  const auto lo_col = static_cast<std::ptrdiff_t>(
+      std::floor((q.x - radius_um - die_.lo.x) / cell_size_));
+  const auto hi_col = static_cast<std::ptrdiff_t>(
+      std::floor((q.x + radius_um - die_.lo.x) / cell_size_));
+  const auto lo_row = static_cast<std::ptrdiff_t>(
+      std::floor((q.y - radius_um - die_.lo.y) / cell_size_));
+  const auto hi_row = static_cast<std::ptrdiff_t>(
+      std::floor((q.y + radius_um - die_.lo.y) / cell_size_));
+  for (std::ptrdiff_t r = std::max<std::ptrdiff_t>(lo_row, 0);
+       r <= hi_row && r < static_cast<std::ptrdiff_t>(rows_); ++r) {
+    for (std::ptrdiff_t c = std::max<std::ptrdiff_t>(lo_col, 0);
+         c <= hi_col && c < static_cast<std::ptrdiff_t>(cols_); ++c) {
+      const cell_index cell =
+          static_cast<cell_index>(r) * cols_ + static_cast<cell_index>(c);
+      if (euclidean_distance(cell_center(cell), p) <= radius_um) {
+        out.push_back(cell);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vabi::layout

@@ -1,0 +1,47 @@
+// Regular partition of the die into square regions.
+//
+// The intra-die spatial variation model (paper Section 3.2 / Fig. 4)
+// associates one independent random variable Y_i with every region; devices
+// are influenced by the regions near them. The paper's experiments use a
+// 500 um region side (Section 5.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace vabi::layout {
+
+/// Index of one region of the die grid.
+using cell_index = std::size_t;
+
+class die_grid {
+ public:
+  /// Partitions `die` into square cells of side `cell_size_um` (the last
+  /// row/column absorbs any remainder). Throws on degenerate input.
+  die_grid(bbox die, double cell_size_um);
+
+  const bbox& die() const { return die_; }
+  double cell_size() const { return cell_size_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t num_cells() const { return rows_ * cols_; }
+
+  /// Cell containing `p`; points outside the die are clamped onto it.
+  cell_index cell_of(const point& p) const;
+
+  /// Geometric center of a cell.
+  point cell_center(cell_index c) const;
+
+  /// All cells whose center lies within `radius_um` (euclidean) of `p`.
+  std::vector<cell_index> cells_within(const point& p, double radius_um) const;
+
+ private:
+  bbox die_;
+  double cell_size_ = 0.0;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+}  // namespace vabi::layout

@@ -1,0 +1,46 @@
+#include "layout/process_model.hpp"
+
+namespace vabi::layout {
+
+const char* to_string(const variation_mode& mode) {
+  if (mode == nom_mode()) return "NOM";
+  if (mode == d2d_mode()) return "D2D";
+  if (mode == wid_mode()) return "WID";
+  return "custom";
+}
+
+process_model::process_model(bbox die, const process_model_config& config)
+    : config_(config) {
+  inter_die_source_ =
+      space_.add_source(stats::source_kind::inter_die, 1.0, "G");
+  spatial_ = std::make_unique<spatial_model>(die, config_.spatial, space_);
+}
+
+device_variation process_model::characterize(const point& loc, double cap0,
+                                             double delay0) {
+  device_variation dv;
+  dv.cap = stats::linear_form{cap0};
+  dv.delay = stats::linear_form{delay0};
+
+  const variation_budgets& b = config_.budgets;
+  if (config_.mode.random_device && b.random_device.enabled()) {
+    dv.random_source =
+        space_.add_source(stats::source_kind::random_device, 1.0);
+    // alpha / beta of eqs. (19)-(20): sensitivity proportional to nominal.
+    dv.cap.add_term(*dv.random_source, b.random_device.cap * cap0);
+    dv.delay.add_term(*dv.random_source, b.random_device.delay * delay0);
+  }
+  if (config_.mode.spatial && b.spatial.enabled()) {
+    // gamma_i / theta_i of eqs. (21)-(22).
+    spatial_->add_spatial_terms(dv.cap, loc, b.spatial.cap * cap0);
+    spatial_->add_spatial_terms(dv.delay, loc, b.spatial.delay * delay0);
+  }
+  if (config_.mode.inter_die && b.inter_die.enabled()) {
+    // xi / eta of eqs. (23)-(24).
+    dv.cap.add_term(inter_die_source_, b.inter_die.cap * cap0);
+    dv.delay.add_term(inter_die_source_, b.inter_die.delay * delay0);
+  }
+  return dv;
+}
+
+}  // namespace vabi::layout

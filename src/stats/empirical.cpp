@@ -1,0 +1,105 @@
+#include "stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/normal.hpp"
+
+namespace vabi::stats {
+
+sample_moments compute_moments(std::span<const double> samples) {
+  sample_moments m;
+  m.n = samples.size();
+  if (m.n == 0) return m;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  m.mean = sum / static_cast<double>(m.n);
+  if (m.n < 2) return m;
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  for (double x : samples) {
+    const double d = x - m.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  const double n = static_cast<double>(m.n);
+  m.stddev = std::sqrt(m2 / (n - 1.0));
+  const double sigma = std::sqrt(m2 / n);  // population sigma for shape stats
+  if (sigma > 0.0) {
+    m.skewness = (m3 / n) / (sigma * sigma * sigma);
+    m.kurtosis_excess = (m4 / n) / (sigma * sigma * sigma * sigma) - 3.0;
+  }
+  return m;
+}
+
+empirical_distribution::empirical_distribution(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("empirical_distribution: empty sample set");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  moments_ = compute_moments(sorted_);
+}
+
+double empirical_distribution::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::domain_error("empirical_distribution::quantile: p not in [0,1]");
+  }
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = p * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+double empirical_distribution::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double empirical_distribution::ks_distance_to_normal(double mean,
+                                                     double sigma) const {
+  if (sigma <= 0.0) {
+    throw std::domain_error("ks_distance_to_normal: sigma must be > 0");
+  }
+  const double n = static_cast<double>(sorted_.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    const double f = normal_cdf((sorted_[i] - mean) / sigma);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(f - lo), std::abs(hi - f)));
+  }
+  return d;
+}
+
+std::vector<std::pair<double, double>> empirical_distribution::density_histogram(
+    std::size_t bins) const {
+  if (bins == 0) {
+    throw std::invalid_argument("density_histogram: bins must be > 0");
+  }
+  const double lo = min();
+  const double hi = max();
+  const double width = (hi > lo) ? (hi - lo) / static_cast<double>(bins) : 1.0;
+  std::vector<std::size_t> counts(bins, 0);
+  for (double x : sorted_) {
+    auto b = static_cast<std::size_t>((x - lo) / width);
+    if (b >= bins) b = bins - 1;
+    ++counts[b];
+  }
+  std::vector<std::pair<double, double>> out(bins);
+  const double norm =
+      1.0 / (static_cast<double>(sorted_.size()) * width);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out[b] = {lo + (static_cast<double>(b) + 0.5) * width,
+              static_cast<double>(counts[b]) * norm};
+  }
+  return out;
+}
+
+}  // namespace vabi::stats

@@ -1,0 +1,59 @@
+// Empirical-distribution utilities for Monte-Carlo validation.
+//
+// Backs the paper's model-vs-Monte-Carlo comparisons: Fig. 3 (device delay
+// PDF vs its first-order normal approximation) and Fig. 6 (root RAT PDF).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vabi::stats {
+
+/// Summary moments of a sample set.
+struct sample_moments {
+  double mean = 0.0;
+  double stddev = 0.0;   ///< unbiased (n-1) estimator
+  double skewness = 0.0;
+  double kurtosis_excess = 0.0;
+  std::size_t n = 0;
+};
+
+sample_moments compute_moments(std::span<const double> samples);
+
+/// Holds a sorted copy of a sample set and answers distribution queries.
+class empirical_distribution {
+ public:
+  explicit empirical_distribution(std::vector<double> samples);
+
+  std::size_t size() const { return sorted_.size(); }
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+
+  const sample_moments& moments() const { return moments_; }
+  double mean() const { return moments_.mean; }
+  double stddev() const { return moments_.stddev; }
+
+  /// p-quantile by linear interpolation of order statistics, p in [0, 1].
+  double quantile(double p) const;
+
+  /// Empirical CDF at x: fraction of samples <= x.
+  double cdf(double x) const;
+
+  /// Kolmogorov-Smirnov distance to N(mean, sigma^2) -- the figure of merit
+  /// for "the normal approximation is close" claims.
+  double ks_distance_to_normal(double mean, double sigma) const;
+
+  /// Equal-width histogram over [min, max] with `bins` bins, normalized to a
+  /// probability density (area 1). Returns {bin_center, density} pairs.
+  std::vector<std::pair<double, double>> density_histogram(
+      std::size_t bins) const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+  sample_moments moments_;
+};
+
+}  // namespace vabi::stats

@@ -1,0 +1,95 @@
+#include "stats/least_squares.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vabi::stats {
+
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              std::size_t n) {
+  if (a.size() != n * n || b.size() != n) {
+    throw std::invalid_argument("solve_spd: shape mismatch");
+  }
+  // In-place Cholesky: a becomes lower-triangular L with A = L L^T.
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) d -= a[j * n + k] * a[j * n + k];
+    if (d <= 0.0) {
+      throw std::invalid_argument("solve_spd: matrix not positive definite");
+    }
+    const double ljj = std::sqrt(d);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / ljj;
+    }
+  }
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a[i * n + k] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a[k * n + ii] * b[k];
+    b[ii] = s / a[ii * n + ii];
+  }
+  return b;
+}
+
+least_squares_fit fit_linear(const std::vector<std::vector<double>>& rows,
+                             std::span<const double> y) {
+  const std::size_t m = rows.size();
+  if (m == 0 || y.size() != m) {
+    throw std::invalid_argument("fit_linear: empty input or size mismatch");
+  }
+  const std::size_t p = rows.front().size();
+  for (const auto& r : rows) {
+    if (r.size() != p) {
+      throw std::invalid_argument("fit_linear: ragged design matrix");
+    }
+  }
+  const std::size_t n = p + 1;  // +1 for the intercept column
+  if (m < n) {
+    throw std::invalid_argument("fit_linear: underdetermined system");
+  }
+
+  // Normal equations (X^T X) beta = X^T y with X = [1 | rows].
+  std::vector<double> xtx(n * n, 0.0);
+  std::vector<double> xty(n, 0.0);
+  std::vector<double> xi(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    xi[0] = 1.0;
+    for (std::size_t j = 0; j < p; ++j) xi[j + 1] = rows[i][j];
+    for (std::size_t r = 0; r < n; ++r) {
+      xty[r] += xi[r] * y[i];
+      for (std::size_t c = 0; c < n; ++c) xtx[r * n + c] += xi[r] * xi[c];
+    }
+  }
+  std::vector<double> beta = solve_spd(std::move(xtx), std::move(xty), n);
+
+  least_squares_fit fit;
+  fit.intercept = beta[0];
+  fit.coeffs.assign(beta.begin() + 1, beta.end());
+
+  double y_mean = 0.0;
+  for (std::size_t i = 0; i < m; ++i) y_mean += y[i];
+  y_mean /= static_cast<double>(m);
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    double pred = fit.intercept;
+    for (std::size_t j = 0; j < p; ++j) pred += fit.coeffs[j] * rows[i][j];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  fit.rms_residual = std::sqrt(ss_res / static_cast<double>(m));
+  fit.r_squared = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace vabi::stats

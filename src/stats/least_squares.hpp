@@ -1,0 +1,41 @@
+// Dense linear least squares.
+//
+// The device-characterization flow (paper Section 3.1) extracts the
+// first-order sensitivity coefficients of eqs. (19)-(20) by fitting sampled
+// nonlinear device responses with a least-squares linear model:
+//
+//   y ~ x0 + sum_j c_j * p_j
+//
+// Systems here are tiny (a handful of process parameters), so a plain
+// normal-equations solve with Cholesky factorization is both adequate and
+// dependency-free.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vabi::stats {
+
+/// Result of a linear least-squares fit y ~ intercept + coeffs . x.
+struct least_squares_fit {
+  double intercept = 0.0;
+  std::vector<double> coeffs;
+  double rms_residual = 0.0;  ///< root-mean-square of y - prediction
+  double r_squared = 0.0;     ///< coefficient of determination
+};
+
+/// Fits y ~ intercept + sum_j coeffs[j] * rows[i][j].
+///
+/// `rows` is the design matrix (one row per observation, all rows the same
+/// width), `y` the observations (same length as rows). Throws
+/// std::invalid_argument on shape mismatch or an underdetermined/singular
+/// system.
+least_squares_fit fit_linear(const std::vector<std::vector<double>>& rows,
+                             std::span<const double> y);
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Cholesky factorization. `a` is row-major n x n. Throws on non-SPD input.
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              std::size_t n);
+
+}  // namespace vabi::stats

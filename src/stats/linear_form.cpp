@@ -1,0 +1,257 @@
+#include "stats/linear_form.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+#include "stats/normal.hpp"
+
+namespace vabi::stats {
+
+linear_form::linear_form(double nominal, std::vector<lf_term> terms)
+    : nominal_(nominal), terms_(std::move(terms)) {
+  normalize();
+}
+
+void linear_form::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const lf_term& a, const lf_term& b) { return a.id < b.id; });
+  // Coalesce duplicate ids.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < terms_.size();) {
+    lf_term merged = terms_[i];
+    std::size_t j = i + 1;
+    while (j < terms_.size() && terms_[j].id == merged.id) {
+      merged.coeff += terms_[j].coeff;
+      ++j;
+    }
+    terms_[out++] = merged;
+    i = j;
+  }
+  terms_.resize(out);
+}
+
+double linear_form::coefficient(source_id id) const {
+  const auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), id,
+      [](const lf_term& t, source_id v) { return t.id < v; });
+  if (it != terms_.end() && it->id == id) return it->coeff;
+  return 0.0;
+}
+
+void linear_form::add_term(source_id id, double coeff) {
+  if (coeff == 0.0) return;
+  const auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), id,
+      [](const lf_term& t, source_id v) { return t.id < v; });
+  if (it != terms_.end() && it->id == id) {
+    it->coeff += coeff;
+  } else {
+    terms_.insert(it, lf_term{id, coeff});
+  }
+}
+
+namespace {
+
+// Merges the sparse term vectors of lhs and rhs with rhs scaled by `sign`.
+std::vector<lf_term> merge_terms(const std::vector<lf_term>& a,
+                                 const std::vector<lf_term>& b, double sign) {
+  std::vector<lf_term> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].id < b[j].id) {
+      out.push_back(a[i++]);
+    } else if (a[i].id > b[j].id) {
+      out.push_back(lf_term{b[j].id, sign * b[j].coeff});
+      ++j;
+    } else {
+      out.push_back(lf_term{a[i].id, a[i].coeff + sign * b[j].coeff});
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) out.push_back(a[i]);
+  for (; j < b.size(); ++j) out.push_back(lf_term{b[j].id, sign * b[j].coeff});
+  return out;
+}
+
+}  // namespace
+
+linear_form& linear_form::operator+=(const linear_form& rhs) {
+  nominal_ += rhs.nominal_;
+  if (!rhs.terms_.empty()) {
+    if (terms_.empty()) {
+      terms_ = rhs.terms_;
+    } else {
+      terms_ = merge_terms(terms_, rhs.terms_, +1.0);
+    }
+  }
+  return *this;
+}
+
+linear_form& linear_form::operator-=(const linear_form& rhs) {
+  nominal_ -= rhs.nominal_;
+  if (!rhs.terms_.empty()) {
+    terms_ = merge_terms(terms_, rhs.terms_, -1.0);
+  }
+  return *this;
+}
+
+linear_form& linear_form::operator+=(double constant) {
+  nominal_ += constant;
+  return *this;
+}
+
+linear_form& linear_form::operator-=(double constant) {
+  nominal_ -= constant;
+  return *this;
+}
+
+linear_form& linear_form::operator*=(double scale) {
+  nominal_ *= scale;
+  if (scale == 0.0) {
+    terms_.clear();
+  } else {
+    for (auto& t : terms_) t.coeff *= scale;
+  }
+  return *this;
+}
+
+double linear_form::variance(const variation_space& space) const {
+  double var = 0.0;
+  for (const auto& t : terms_) var += t.coeff * t.coeff * space.variance(t.id);
+  return var;
+}
+
+double linear_form::stddev(const variation_space& space) const {
+  return std::sqrt(variance(space));
+}
+
+double linear_form::evaluate(std::span<const double> sample) const {
+  double v = nominal_;
+  for (const auto& t : terms_) {
+    assert(t.id < sample.size());
+    v += t.coeff * sample[t.id];
+  }
+  return v;
+}
+
+void linear_form::prune_zero_terms(double eps) {
+  std::erase_if(terms_,
+                [eps](const lf_term& t) { return std::abs(t.coeff) <= eps; });
+}
+
+double covariance(const linear_form& a, const linear_form& b,
+                  const variation_space& space) {
+  const auto& ta = a.terms();
+  const auto& tb = b.terms();
+  double cov = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ta.size() && j < tb.size()) {
+    if (ta[i].id < tb[j].id) {
+      ++i;
+    } else if (ta[i].id > tb[j].id) {
+      ++j;
+    } else {
+      cov += ta[i].coeff * tb[j].coeff * space.variance(ta[i].id);
+      ++i;
+      ++j;
+    }
+  }
+  return cov;
+}
+
+double correlation(const linear_form& a, const linear_form& b,
+                   const variation_space& space) {
+  const double sa = a.stddev(space);
+  const double sb = b.stddev(space);
+  if (sa == 0.0 || sb == 0.0) return 0.0;
+  return covariance(a, b, space) / (sa * sb);
+}
+
+double sigma_of_difference(const linear_form& a, const linear_form& b,
+                           const variation_space& space) {
+  // One sparse pass over the union of term ids: Var(a-b) = sum (a_i-b_i)^2 s_i^2.
+  const auto& ta = a.terms();
+  const auto& tb = b.terms();
+  double var = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ta.size() || j < tb.size()) {
+    double d = 0.0;
+    source_id id = 0;
+    if (j >= tb.size() || (i < ta.size() && ta[i].id < tb[j].id)) {
+      d = ta[i].coeff;
+      id = ta[i].id;
+      ++i;
+    } else if (i >= ta.size() || tb[j].id < ta[i].id) {
+      d = -tb[j].coeff;
+      id = tb[j].id;
+      ++j;
+    } else {
+      d = ta[i].coeff - tb[j].coeff;
+      id = ta[i].id;
+      ++i;
+      ++j;
+    }
+    var += d * d * space.variance(id);
+  }
+  return std::sqrt(std::max(var, 0.0));
+}
+
+double prob_greater(const linear_form& a, const linear_form& b,
+                    const variation_space& space) {
+  const double sigma = sigma_of_difference(a, b, space);
+  return normal_exceedance(a.mean() - b.mean(), sigma, 0.0);
+}
+
+double tightness_probability(const linear_form& a, const linear_form& b,
+                             const variation_space& space) {
+  return prob_greater(b, a, space);
+}
+
+linear_form statistical_min(const linear_form& a, const linear_form& b,
+                            const variation_space& space) {
+  const double sigma = sigma_of_difference(a, b, space);
+  if (sigma == 0.0) {
+    // Perfectly correlated (or both deterministic): exact min by mean.
+    return (a.mean() <= b.mean()) ? a : b;
+  }
+  // t = P(a < b), the tightness probability of eq. (39).
+  const double z = (b.mean() - a.mean()) / sigma;
+  const double t = normal_cdf(z);
+  // Mean correction term of eq. (38): -sigma * phi(z). This makes the mean
+  // exact: E[min] = t*mu_a + (1-t)*mu_b - sigma*phi(z) (Cain 1994).
+  linear_form out = t * a + (1.0 - t) * b;
+  out -= sigma * normal_pdf(z);
+  return out;
+}
+
+linear_form statistical_max(const linear_form& a, const linear_form& b,
+                            const variation_space& space) {
+  linear_form na = -1.0 * a;
+  linear_form nb = -1.0 * b;
+  linear_form m = statistical_min(na, nb, space);
+  m *= -1.0;
+  return m;
+}
+
+double percentile(const linear_form& f, const variation_space& space,
+                  double p) {
+  return normal_percentile(f.mean(), f.stddev(space), p);
+}
+
+std::ostream& operator<<(std::ostream& os, const linear_form& f) {
+  os << f.nominal();
+  for (const auto& t : f.terms()) {
+    os << (t.coeff >= 0.0 ? " + " : " - ") << std::abs(t.coeff) << "*X"
+       << t.id;
+  }
+  return os;
+}
+
+}  // namespace vabi::stats

@@ -1,0 +1,158 @@
+// First-order canonical form over a variation_space.
+//
+// Every statistical quantity in the library -- a buffer's capacitance or
+// intrinsic delay, a candidate solution's downstream load L and required
+// arrival time T -- is represented as
+//
+//   V = v0 + sum_i a_i * X_i                           (paper eqs. 31-32)
+//
+// where v0 is the nominal value and X_i are the independent zero-mean normal
+// sources registered in a variation_space. The form is stored sparsely as a
+// vector of (source id, coefficient) terms sorted by id, so that addition,
+// subtraction and covariance are single linear merges over the terms that are
+// actually present.
+//
+// Because the X_i are independent normals, any linear form is normal, any set
+// of linear forms over the same space is *jointly* normal, and the exact
+// second-order statistics are:
+//
+//   Var(V)      = sum_i a_i^2 sigma_i^2                (eq. 41)
+//   Cov(V, W)   = sum_i a_i b_i sigma_i^2              (numerator of eq. 43)
+//
+// This is what makes the paper's two-parameter pruning rule exact (Lemmas 2-4)
+// and the statistical min (eq. 38) a closed-form operation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "stats/variation_space.hpp"
+
+namespace vabi::stats {
+
+/// One sparse term a_i * X_i of a canonical form.
+struct lf_term {
+  source_id id = 0;
+  double coeff = 0.0;
+
+  friend bool operator==(const lf_term&, const lf_term&) = default;
+};
+
+/// Sparse first-order canonical form v0 + sum a_i X_i.
+class linear_form {
+ public:
+  linear_form() = default;
+  /// A deterministic constant (no variation terms).
+  explicit linear_form(double nominal) : nominal_(nominal) {}
+  /// A form with explicit terms; `terms` need not be sorted or deduplicated.
+  linear_form(double nominal, std::vector<lf_term> terms);
+
+  double nominal() const { return nominal_; }
+  /// Mean of the form; equals the nominal value since all sources are
+  /// zero-mean.
+  double mean() const { return nominal_; }
+
+  const std::vector<lf_term>& terms() const { return terms_; }
+  std::size_t num_terms() const { return terms_.size(); }
+  bool is_deterministic() const { return terms_.empty(); }
+
+  /// Coefficient on source `id` (0 if absent).
+  double coefficient(source_id id) const;
+
+  /// Adds `coeff * X_id` to this form.
+  void add_term(source_id id, double coeff);
+
+  linear_form& operator+=(const linear_form& rhs);
+  linear_form& operator-=(const linear_form& rhs);
+  linear_form& operator+=(double constant);
+  linear_form& operator-=(double constant);
+  linear_form& operator*=(double scale);
+
+  friend linear_form operator+(linear_form lhs, const linear_form& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend linear_form operator-(linear_form lhs, const linear_form& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  friend linear_form operator*(linear_form lhs, double scale) {
+    lhs *= scale;
+    return lhs;
+  }
+  friend linear_form operator*(double scale, linear_form rhs) {
+    rhs *= scale;
+    return rhs;
+  }
+
+  friend bool operator==(const linear_form&, const linear_form&) = default;
+
+  /// Exact variance over `space` (eq. 41).
+  double variance(const variation_space& space) const;
+  double stddev(const variation_space& space) const;
+
+  /// Evaluates the form at a concrete sample of every source. `sample[id]`
+  /// must hold the drawn value of source `id` (see monte_carlo.hpp).
+  double evaluate(std::span<const double> sample) const;
+
+  /// Removes terms with |coeff| <= eps (absolute). Keeps the form canonical
+  /// after cancellations.
+  void prune_zero_terms(double eps = 0.0);
+
+ private:
+  void normalize();
+
+  double nominal_ = 0.0;
+  std::vector<lf_term> terms_;  // sorted by id, unique ids
+};
+
+/// Exact covariance of two forms over `space`.
+double covariance(const linear_form& a, const linear_form& b,
+                  const variation_space& space);
+
+/// Correlation coefficient rho(a, b); returns 0 when either form is
+/// deterministic.
+double correlation(const linear_form& a, const linear_form& b,
+                   const variation_space& space);
+
+/// Standard deviation of the difference a - b (paper eq. 9 / eq. 40):
+///   sigma_{a,b} = sqrt(Var(a) - 2 Cov(a,b) + Var(b))
+/// computed in one sparse pass without materializing a - b.
+double sigma_of_difference(const linear_form& a, const linear_form& b,
+                           const variation_space& space);
+
+/// P(a > b) for jointly normal forms (paper eq. 8):
+///   Phi((mu_a - mu_b) / sigma_{a,b}).
+/// When sigma_{a,b} == 0 the comparison degenerates to the deterministic one
+/// (returns 1, 0, or 0.5 on a tie).
+double prob_greater(const linear_form& a, const linear_form& b,
+                    const variation_space& space);
+
+/// Tightness probability P(a < b) (paper eq. 39).
+double tightness_probability(const linear_form& a, const linear_form& b,
+                             const variation_space& space);
+
+/// Statistical min of two jointly normal forms, re-expressed as a canonical
+/// form via the tightness-probability linearization of [Visweswariah et al.]
+/// (paper eq. 38):
+///
+///   min(a,b) ~ t*a0 + (1-t)*b0 - sigma_{a,b} * phi((mu_b - mu_a)/sigma_{a,b})
+///              + sum (t*a_i + (1-t)*b_i) X_i,   t = P(a < b).
+///
+/// The mean matches the exact mean of min(a,b) (Cain 1994); the linear terms
+/// preserve covariance with the underlying sources to first order.
+linear_form statistical_min(const linear_form& a, const linear_form& b,
+                            const variation_space& space);
+
+/// Statistical max, by the dual linearization: max(a,b) = -min(-a,-b).
+linear_form statistical_max(const linear_form& a, const linear_form& b,
+                            const variation_space& space);
+
+/// The p-quantile of the (normal) form: mean + stddev * Phi^-1(p).
+double percentile(const linear_form& f, const variation_space& space, double p);
+
+std::ostream& operator<<(std::ostream& os, const linear_form& f);
+
+}  // namespace vabi::stats

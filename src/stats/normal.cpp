@@ -1,0 +1,97 @@
+#include "stats/normal.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace vabi::stats {
+
+namespace {
+
+constexpr double k_inv_sqrt_2pi = 0.3989422804014326779399461;
+constexpr double k_inv_sqrt_2 = 0.7071067811865475244008444;
+
+// Coefficients of Acklam's rational approximation to the normal quantile.
+constexpr double a1 = -3.969683028665376e+01;
+constexpr double a2 = 2.209460984245205e+02;
+constexpr double a3 = -2.759285104469687e+02;
+constexpr double a4 = 1.383577518672690e+02;
+constexpr double a5 = -3.066479806614716e+01;
+constexpr double a6 = 2.506628277459239e+00;
+
+constexpr double b1 = -5.447609879822406e+01;
+constexpr double b2 = 1.615858368580409e+02;
+constexpr double b3 = -1.556989798598866e+02;
+constexpr double b4 = 6.680131188771972e+01;
+constexpr double b5 = -1.328068155288572e+01;
+
+constexpr double c1 = -7.784894002430293e-03;
+constexpr double c2 = -3.223964580411365e-01;
+constexpr double c3 = -2.400758277161838e+00;
+constexpr double c4 = -2.549732539343734e+00;
+constexpr double c5 = 4.374664141464968e+00;
+constexpr double c6 = 2.938163982698783e+00;
+
+constexpr double d1 = 7.784695709041462e-03;
+constexpr double d2 = 3.224671290700398e-01;
+constexpr double d3 = 2.445134137142996e+00;
+constexpr double d4 = 3.754408661907416e+00;
+
+double acklam_quantile(double p) {
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  double q = 0.0;
+  double r = 0.0;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c1 * q + c2) * q + c3) * q + c4) * q + c5) * q + c6) /
+           ((((d1 * q + d2) * q + d3) * q + d4) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a1 * r + a2) * r + a3) * r + a4) * r + a5) * r + a6) * q /
+           (((((b1 * r + b2) * r + b3) * r + b4) * r + b5) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c1 * q + c2) * q + c3) * q + c4) * q + c5) * q + c6) /
+         ((((d1 * q + d2) * q + d3) * q + d4) * q + 1.0);
+}
+
+}  // namespace
+
+double normal_pdf(double x) { return k_inv_sqrt_2pi * std::exp(-0.5 * x * x); }
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x * k_inv_sqrt_2); }
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("normal_quantile: p must be in (0, 1)");
+  }
+  double x = acklam_quantile(p);
+  // One Halley refinement step pushes the approximation to near machine
+  // precision: e = Phi(x) - p, x <- x - 2e / (2*phi(x) + e*x)... using the
+  // standard update u = e * sqrt(2*pi) * exp(x^2/2); x <- x - u/(1 + x*u/2).
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double normal_exceedance(double mean, double sigma, double t) {
+  assert(sigma >= 0.0);
+  if (sigma == 0.0) {
+    if (mean > t) return 1.0;
+    if (mean < t) return 0.0;
+    return 0.5;
+  }
+  return normal_cdf((mean - t) / sigma);
+}
+
+double normal_percentile(double mean, double sigma, double p) {
+  assert(sigma >= 0.0);
+  if (sigma == 0.0) return mean;
+  return mean + sigma * normal_quantile(p);
+}
+
+}  // namespace vabi::stats

@@ -1,0 +1,36 @@
+// Standard normal distribution utilities.
+//
+// These are the probability primitives behind every statistical operation in
+// the library: the pruning-rule probability P(T1 > T2) (paper eq. 8), the
+// tightness probability used by the statistical min (eq. 39), and the
+// percentile parameters of the four-parameter pruning rule (eq. 1).
+#pragma once
+
+namespace vabi::stats {
+
+/// PDF of the standard normal distribution, phi(x) = exp(-x^2/2)/sqrt(2*pi).
+double normal_pdf(double x);
+
+/// CDF of the standard normal distribution, Phi(x).
+///
+/// Implemented with std::erfc for full double accuracy in both tails.
+double normal_cdf(double x);
+
+/// Inverse CDF (quantile function) of the standard normal distribution.
+///
+/// `p` must lie in the open interval (0, 1). Uses Acklam's rational
+/// approximation refined by one step of Halley's method; the result is
+/// accurate to ~1e-15 over the whole domain.
+double normal_quantile(double p);
+
+/// P(X > t) for X ~ N(mean, sigma^2).
+///
+/// `sigma` must be >= 0. A zero sigma degenerates to the deterministic
+/// comparison: returns 1 for mean > t, 0 for mean < t, and 0.5 at equality
+/// (the tie convention used by the pruning rules).
+double normal_exceedance(double mean, double sigma, double t);
+
+/// The p-quantile of N(mean, sigma^2): mean + sigma * Phi^-1(p).
+double normal_percentile(double mean, double sigma, double p);
+
+}  // namespace vabi::stats

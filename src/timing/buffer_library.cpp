@@ -1,0 +1,40 @@
+#include "timing/buffer_library.hpp"
+
+#include <stdexcept>
+
+namespace vabi::timing {
+
+buffer_library::buffer_library(std::vector<buffer_type> types)
+    : types_(std::move(types)) {
+  for (const auto& t : types_) check(t);
+}
+
+void buffer_library::check(const buffer_type& type) const {
+  if (type.cap_pf <= 0.0 || type.res_ohm <= 0.0 || type.delay_ps < 0.0) {
+    throw std::invalid_argument("buffer_library: invalid characteristics for '" +
+                                type.name + "'");
+  }
+}
+
+buffer_index buffer_library::add(buffer_type type) {
+  check(type);
+  types_.push_back(std::move(type));
+  return static_cast<buffer_index>(types_.size() - 1);
+}
+
+buffer_library standard_library() {
+  // 65nm-flavor repeaters. With the default wire (0.2 ohm/um, 0.2 fF/um)
+  // the x1 optimal repeater spacing sqrt(2(T_b + R_b C_b)/(r c)) is ~1.5 mm,
+  // so multi-millimeter nets want buffers -- the regime the paper studies.
+  return buffer_library{{
+      {"buf_x1", 0.020, 40.0, 400.0},
+      {"buf_x2", 0.040, 36.0, 200.0},
+      {"buf_x4", 0.080, 33.0, 100.0},
+  }};
+}
+
+buffer_library single_buffer_library() {
+  return buffer_library{{{"buf_x1", 0.020, 40.0, 400.0}}};
+}
+
+}  // namespace vabi::timing

@@ -1,0 +1,51 @@
+// Buffer (repeater) library.
+//
+// Each buffer type is characterized by its nominal input capacitance C_b,
+// intrinsic delay T_b and output resistance R_b (paper Section 3.1). Process
+// variation lumps into C_b and T_b; R_b stays nominal for a given size, as in
+// the paper. Delay of a buffer driving load L: T_b + R_b * L (eq. 28).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vabi::timing {
+
+/// Index of a buffer type within a buffer_library.
+using buffer_index = std::uint32_t;
+
+struct buffer_type {
+  std::string name;
+  double cap_pf = 0.0;    ///< nominal input capacitance C_b0
+  double delay_ps = 0.0;  ///< nominal intrinsic delay T_b0
+  double res_ohm = 0.0;   ///< output resistance R_b (kept nominal)
+};
+
+class buffer_library {
+ public:
+  buffer_library() = default;
+  explicit buffer_library(std::vector<buffer_type> types);
+
+  buffer_index add(buffer_type type);
+
+  std::size_t size() const { return types_.size(); }
+  bool empty() const { return types_.empty(); }
+  const buffer_type& operator[](buffer_index i) const { return types_[i]; }
+  const std::vector<buffer_type>& types() const { return types_; }
+
+ private:
+  void check(const buffer_type& type) const;
+  std::vector<buffer_type> types_;
+};
+
+/// The default 65nm-flavor library used by the experiments: three inverter
+/// sizes (1x / 2x / 4x). Larger sizes trade input capacitance for drive
+/// strength.
+buffer_library standard_library();
+
+/// A single-buffer library (the classic van Ginneken setting); handy for
+/// tests with hand-computed optima.
+buffer_library single_buffer_library();
+
+}  // namespace vabi::timing

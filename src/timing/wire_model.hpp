@@ -1,0 +1,36 @@
+// Distributed-RC wire model.
+//
+// Wires are modeled per the paper (Section 4.1) as pi segments under the
+// Elmore delay metric. Units throughout the library: ohm, pF, ps, um --
+// note 1 ohm * 1 pF = 1 ps, so delays come out in picoseconds directly.
+//
+// For a wire of length l driven into downstream load L:
+//   added capacitance:  c * l                          (eq. 25)
+//   Elmore delay:       r*l*L + r*c*l^2 / 2            (eq. 26)
+#pragma once
+
+#include <stdexcept>
+
+namespace vabi::timing {
+
+struct wire_model {
+  double res_per_um = 0.2;      ///< sheet resistance r, ohm/um
+  double cap_per_um = 0.2e-3;   ///< unit capacitance c, pF/um
+
+  /// Total capacitance of a wire of length `um`.
+  double wire_cap(double um) const { return cap_per_um * um; }
+
+  /// Elmore delay of a wire of length `um` into downstream load `load_pf`.
+  double wire_delay(double um, double load_pf) const {
+    return res_per_um * um * load_pf +
+           0.5 * res_per_um * cap_per_um * um * um;
+  }
+
+  void validate() const {
+    if (res_per_um < 0.0 || cap_per_um < 0.0) {
+      throw std::invalid_argument("wire_model: negative unit R or C");
+    }
+  }
+};
+
+}  // namespace vabi::timing

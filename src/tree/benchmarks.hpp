@@ -1,0 +1,37 @@
+// The paper's benchmark suite (Table 1), rebuilt synthetically.
+//
+// The original p1/p2 and r1-r5 nets come from the public benchmarks of
+// [Shi & Li, DAC'03] and are not redistributable here; we regenerate nets
+// with exactly the same sink counts (and hence the same buffer-position
+// counts, 2*sinks - 1) via the deterministic random-tree generator, embedded
+// on dies sized so that average sink density is realistic for the net size.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tree/generators.hpp"
+#include "tree/routing_tree.hpp"
+
+namespace vabi::tree {
+
+struct benchmark_spec {
+  std::string name;
+  std::size_t sinks = 0;
+  double die_side_um = 4000.0;
+  std::uint64_t seed = 0;
+
+  std::size_t buffer_positions() const { return 2 * sinks - 1; }
+};
+
+/// The seven benchmarks of Table 1: p1, p2, r1, r2, r3, r4, r5.
+const std::vector<benchmark_spec>& paper_benchmarks();
+
+/// Looks a benchmark up by name; std::nullopt if unknown.
+std::optional<benchmark_spec> find_benchmark(const std::string& name);
+
+/// Builds the routing tree of a spec (deterministic in the spec's seed).
+routing_tree build_benchmark(const benchmark_spec& spec);
+
+}  // namespace vabi::tree

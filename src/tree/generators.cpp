@@ -1,0 +1,177 @@
+#include "tree/generators.hpp"
+
+#include <algorithm>
+#include <random>
+#include <span>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace vabi::tree {
+
+namespace {
+
+struct gen_sink {
+  layout::point loc;
+  double cap_pf;
+  double rat_ps;
+};
+
+layout::point centroid(std::span<gen_sink> sinks) {
+  layout::point c;
+  for (const auto& s : sinks) {
+    c.x += s.loc.x;
+    c.y += s.loc.y;
+  }
+  c.x /= static_cast<double>(sinks.size());
+  c.y /= static_cast<double>(sinks.size());
+  return c;
+}
+
+// Recursive geometric bisection; attaches the subtree over `sinks` under
+// `parent`. Median splits keep the recursion depth logarithmic.
+void build_bisection(routing_tree& tree, node_id parent,
+                     std::span<gen_sink> sinks) {
+  if (sinks.size() == 1) {
+    tree.add_sink(parent, sinks[0].loc, sinks[0].cap_pf, sinks[0].rat_ps);
+    return;
+  }
+  layout::bbox box{sinks[0].loc, sinks[0].loc};
+  for (const auto& s : sinks) box.expand(s.loc);
+  const bool split_x = box.width() >= box.height();
+  const auto mid = sinks.size() / 2;
+  std::nth_element(sinks.begin(), sinks.begin() + static_cast<std::ptrdiff_t>(mid),
+                   sinks.end(), [split_x](const gen_sink& a, const gen_sink& b) {
+                     return split_x ? a.loc.x < b.loc.x : a.loc.y < b.loc.y;
+                   });
+  const node_id here = tree.add_steiner(parent, centroid(sinks));
+  build_bisection(tree, here, sinks.subspan(0, mid));
+  build_bisection(tree, here, sinks.subspan(mid));
+}
+
+}  // namespace
+
+routing_tree make_random_tree(const random_tree_options& options) {
+  if (options.num_sinks == 0) {
+    throw std::invalid_argument("make_random_tree: num_sinks must be > 0");
+  }
+  if (options.die_side_um <= 0.0) {
+    throw std::invalid_argument("make_random_tree: die side must be > 0");
+  }
+  auto rng = stats::make_rng(options.seed);
+  std::uniform_real_distribution<double> coord(0.0, options.die_side_um);
+  std::uniform_real_distribution<double> cap(options.sink_cap_min_pf,
+                                             options.sink_cap_max_pf);
+  std::vector<gen_sink> sinks(options.num_sinks);
+  for (auto& s : sinks) {
+    s.loc = {coord(rng), coord(rng)};
+    s.cap_pf = cap(rng);
+  }
+  routing_tree tree{centroid(sinks)};
+  // Criticality balancing: sinks nearer the source get proportionally
+  // tighter required times, emulating budgeted industrial nets (see the
+  // option's comment). The budget rate approximates the delay of an
+  // optimally repeatered line, so post-buffering slacks come out similar.
+  std::vector<double> rat(options.num_sinks, options.sink_rat_ps);
+  if (options.criticality_balance > 0.0) {
+    double max_dist = 0.0;
+    for (const auto& s : sinks) {
+      max_dist = std::max(
+          max_dist, layout::manhattan_distance(tree.node(0).location, s.loc));
+    }
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      const double dist =
+          layout::manhattan_distance(tree.node(0).location, sinks[i].loc);
+      rat[i] = options.sink_rat_ps -
+               options.criticality_balance * options.balance_delay_per_um *
+                   (max_dist - dist);
+    }
+  }
+  for (std::size_t i = 0; i < sinks.size(); ++i) sinks[i].rat_ps = rat[i];
+  if (sinks.size() == 1) {
+    tree.add_sink(tree.root(), sinks[0].loc, sinks[0].cap_pf,
+                  sinks[0].rat_ps);
+  } else {
+    // The top bisection node coincides with the source so that every
+    // non-source node is a legal buffer position and the position count is
+    // exactly 2 * sinks - 1, matching Table 1.
+    const auto mid = sinks.size() / 2;
+    layout::bbox box{sinks[0].loc, sinks[0].loc};
+    for (const auto& s : sinks) box.expand(s.loc);
+    const bool split_x = box.width() >= box.height();
+    std::nth_element(sinks.begin(),
+                     sinks.begin() + static_cast<std::ptrdiff_t>(mid),
+                     sinks.end(),
+                     [split_x](const gen_sink& a, const gen_sink& b) {
+                       return split_x ? a.loc.x < b.loc.x : a.loc.y < b.loc.y;
+                     });
+    const node_id top = tree.add_steiner(tree.root(), tree.node(0).location);
+    build_bisection(tree, top, std::span<gen_sink>(sinks).subspan(0, mid));
+    build_bisection(tree, top, std::span<gen_sink>(sinks).subspan(mid));
+  }
+  tree.validate();
+  return tree;
+}
+
+namespace {
+
+// One H at `center` spanning a box of half-width hw / half-height hh:
+// horizontal bar to left/right arms, vertical half-bars to the four tips.
+void build_h_level(routing_tree& tree, node_id parent, layout::point center,
+                   double hw, double hh, std::size_t levels_left,
+                   const h_tree_options& options) {
+  const layout::point left{center.x - hw, center.y};
+  const layout::point right{center.x + hw, center.y};
+  const node_id ln = tree.add_steiner(parent, left);
+  const node_id rn = tree.add_steiner(parent, right);
+  for (const auto& [arm, arm_pt] : {std::pair{ln, left}, std::pair{rn, right}}) {
+    for (const double dy : {-hh, +hh}) {
+      const layout::point tip{arm_pt.x, arm_pt.y + dy};
+      if (levels_left == 1) {
+        tree.add_sink(arm, tip, options.sink_cap_pf, options.sink_rat_ps);
+      } else {
+        const node_id tn = tree.add_steiner(arm, tip);
+        build_h_level(tree, tn, tip, hw / 2.0, hh / 2.0, levels_left - 1,
+                      options);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+routing_tree make_h_tree(const h_tree_options& options) {
+  if (options.levels == 0) {
+    throw std::invalid_argument("make_h_tree: levels must be > 0");
+  }
+  if (options.die_side_um <= 0.0) {
+    throw std::invalid_argument("make_h_tree: die side must be > 0");
+  }
+  const double half = options.die_side_um / 2.0;
+  routing_tree tree{{half, half}};
+  build_h_level(tree, tree.root(), {half, half}, half / 2.0, half / 2.0,
+                options.levels, options);
+  tree.validate();
+  return tree;
+}
+
+routing_tree make_chain(const chain_options& options) {
+  if (options.segments == 0) {
+    throw std::invalid_argument("make_chain: segments must be > 0");
+  }
+  if (options.length_um <= 0.0) {
+    throw std::invalid_argument("make_chain: length must be > 0");
+  }
+  routing_tree tree{{0.0, 0.0}};
+  const double step = options.length_um / static_cast<double>(options.segments);
+  node_id prev = tree.root();
+  for (std::size_t i = 1; i < options.segments; ++i) {
+    prev = tree.add_steiner(prev, {step * static_cast<double>(i), 0.0});
+  }
+  tree.add_sink(prev, {options.length_um, 0.0}, options.sink_cap_pf,
+                options.sink_rat_ps);
+  tree.validate();
+  return tree;
+}
+
+}  // namespace vabi::tree

@@ -1,0 +1,72 @@
+// Synthetic routing-tree generators.
+//
+// The paper evaluates on public benchmarks p1, p2, r1-r5 (Table 1) and, for
+// the capacity claim, an eight-level H-tree clock network with 64k sinks
+// (footnote 4). Those nets are not redistributable, so this module generates
+// deterministic synthetic equivalents:
+//
+//   - make_random_tree: sinks placed uniformly at random on the die, topology
+//     built by recursive geometric bisection (median split along the wider
+//     axis, internal nodes at subset centroids). This yields a full binary
+//     topology -- num_buffer_positions = 2 * sinks - 1, matching Table 1 --
+//     with a realistic geometric embedding for the spatial-correlation model.
+//   - make_h_tree: classic recursive H clock tree with 4^levels sinks.
+//   - make_chain: a two-pin line net with equally spaced candidate positions
+//     (the textbook van Ginneken example; used heavily in tests).
+//
+// All generators are deterministic in their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "layout/geometry.hpp"
+#include "tree/routing_tree.hpp"
+
+namespace vabi::tree {
+
+struct random_tree_options {
+  std::size_t num_sinks = 100;
+  double die_side_um = 4000.0;
+  std::uint64_t seed = 1;
+  double sink_cap_min_pf = 0.005;
+  double sink_cap_max_pf = 0.050;
+  double sink_rat_ps = 0.0;
+
+  /// Criticality balancing, in [0, 1]. Real tapeout nets carry per-sink
+  /// required times from timing budgeting, which leaves *many* sinks close
+  /// to critical -- the regime where process variation hurts a nominally
+  /// optimized design most (the min over many near-equal random paths).
+  /// 0 keeps the flat `sink_rat_ps`; 1 tightens each sink's RAT by the full
+  /// delay advantage of its shorter source distance, making all sinks
+  /// roughly equally critical after buffering.
+  double criticality_balance = 0.0;
+  /// Delay-per-micron used by the balancing budget (~ the per-unit delay of
+  /// an optimally repeatered line under the default wire/buffer models).
+  double balance_delay_per_um = 0.1;
+};
+
+/// Random geometric net; see file comment. Throws on num_sinks == 0.
+routing_tree make_random_tree(const random_tree_options& options);
+
+struct h_tree_options {
+  std::size_t levels = 4;  ///< sinks = 4^levels
+  double die_side_um = 8000.0;
+  double sink_cap_pf = 0.020;
+  double sink_rat_ps = 0.0;
+};
+
+/// Recursive H-tree centered on the die. Throws on levels == 0.
+routing_tree make_h_tree(const h_tree_options& options);
+
+struct chain_options {
+  double length_um = 4000.0;
+  std::size_t segments = 10;  ///< candidate positions strictly inside
+  double sink_cap_pf = 0.020;
+  double sink_rat_ps = 0.0;
+};
+
+/// Source at (0,0), single sink at (length,0), `segments - 1` equally spaced
+/// Steiner candidates between them. Throws on segments == 0.
+routing_tree make_chain(const chain_options& options);
+
+}  // namespace vabi::tree

@@ -1,0 +1,148 @@
+#include "tree/routing_tree.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace vabi::tree {
+
+const char* to_string(node_kind kind) {
+  switch (kind) {
+    case node_kind::source:
+      return "source";
+    case node_kind::sink:
+      return "sink";
+    case node_kind::steiner:
+      return "steiner";
+  }
+  return "unknown";
+}
+
+routing_tree::routing_tree(layout::point source_loc) {
+  tree_node root;
+  root.id = 0;
+  root.kind = node_kind::source;
+  root.location = source_loc;
+  nodes_.push_back(root);
+}
+
+node_id routing_tree::add_node(node_kind kind, node_id parent,
+                               layout::point loc, double wire_um) {
+  if (parent >= nodes_.size()) {
+    throw std::out_of_range("routing_tree: invalid parent id");
+  }
+  if (nodes_[parent].is_sink()) {
+    throw std::logic_error("routing_tree: sinks must be leaves");
+  }
+  tree_node n;
+  n.id = static_cast<node_id>(nodes_.size());
+  n.kind = kind;
+  n.location = loc;
+  n.parent = parent;
+  n.parent_wire_um =
+      wire_um >= 0.0 ? wire_um
+                     : layout::manhattan_distance(nodes_[parent].location, loc);
+  nodes_[parent].children.push_back(n.id);
+  nodes_.push_back(n);
+  return n.id;
+}
+
+node_id routing_tree::add_sink(node_id parent, layout::point loc,
+                               double cap_pf, double rat_ps, double wire_um) {
+  if (cap_pf < 0.0) {
+    throw std::invalid_argument("routing_tree: sink capacitance must be >= 0");
+  }
+  const node_id id = add_node(node_kind::sink, parent, loc, wire_um);
+  nodes_[id].sink_cap_pf = cap_pf;
+  nodes_[id].sink_rat_ps = rat_ps;
+  ++num_sinks_;
+  return id;
+}
+
+node_id routing_tree::add_steiner(node_id parent, layout::point loc,
+                                  double wire_um) {
+  return add_node(node_kind::steiner, parent, loc, wire_um);
+}
+
+std::vector<node_id> routing_tree::postorder() const {
+  std::vector<node_id> order;
+  order.reserve(nodes_.size());
+  // Iterative two-stack postorder.
+  std::vector<node_id> stack{root()};
+  while (!stack.empty()) {
+    const node_id id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    for (node_id c : nodes_[id].children) stack.push_back(c);
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<node_id> routing_tree::sinks() const {
+  std::vector<node_id> out;
+  out.reserve(num_sinks_);
+  for (const auto& n : nodes_) {
+    if (n.is_sink()) out.push_back(n.id);
+  }
+  return out;
+}
+
+double routing_tree::total_wire_um() const {
+  double total = 0.0;
+  for (const auto& n : nodes_) total += n.parent_wire_um;
+  return total;
+}
+
+layout::bbox routing_tree::bounding_box() const {
+  layout::bbox box{nodes_.front().location, nodes_.front().location};
+  for (const auto& n : nodes_) box.expand(n.location);
+  return box;
+}
+
+void routing_tree::validate() const {
+  if (nodes_.empty() || !nodes_.front().is_source()) {
+    throw std::logic_error("routing_tree: missing source root");
+  }
+  std::size_t sink_count = 0;
+  for (const auto& n : nodes_) {
+    if (n.id != static_cast<node_id>(&n - nodes_.data())) {
+      throw std::logic_error("routing_tree: node id mismatch");
+    }
+    if (n.is_source()) {
+      if (n.id != 0 || n.parent != invalid_node) {
+        throw std::logic_error("routing_tree: source must be the root");
+      }
+    } else {
+      if (n.parent >= nodes_.size()) {
+        throw std::logic_error("routing_tree: dangling parent");
+      }
+      // Children ids are strictly greater than parents by construction, which
+      // also rules out cycles.
+      if (n.parent >= n.id) {
+        throw std::logic_error("routing_tree: parent id not less than child");
+      }
+      bool linked = false;
+      for (node_id c : nodes_[n.parent].children) linked |= (c == n.id);
+      if (!linked) {
+        throw std::logic_error("routing_tree: parent does not list child");
+      }
+    }
+    if (n.parent_wire_um < 0.0) {
+      throw std::logic_error("routing_tree: negative wire length");
+    }
+    if (n.is_sink()) {
+      ++sink_count;
+      if (!n.children.empty()) {
+        throw std::logic_error("routing_tree: sink with children");
+      }
+    }
+  }
+  if (sink_count != num_sinks_) {
+    throw std::logic_error("routing_tree: sink count mismatch");
+  }
+  if (num_sinks_ == 0) {
+    throw std::logic_error("routing_tree: tree has no sinks");
+  }
+}
+
+}  // namespace vabi::tree

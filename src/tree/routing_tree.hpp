@@ -1,0 +1,100 @@
+// Routing-tree data structure.
+//
+// The input of the buffer-insertion problem (paper Section 2.1): a tree
+// rooted at the signal source, with capacitive sinks at the leaves carrying
+// required arrival times, wires of known length on the edges, and a set of
+// legal buffer positions. Following the benchmarks of Table 1 (where
+// positions = 2 * sinks - 1), every node except the source is a legal buffer
+// position: inserting a buffer "at node t" places it at t, driving t's
+// subtree (eqs. 27-28).
+//
+// Nodes carry a die location so that the spatial variation model can
+// correlate nearby buffers; wire lengths default to the Manhattan distance
+// between the edge endpoints but may be set explicitly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace vabi::tree {
+
+using node_id = std::uint32_t;
+inline constexpr node_id invalid_node = std::numeric_limits<node_id>::max();
+
+enum class node_kind : std::uint8_t {
+  source,   ///< the root driver; exactly one per tree; not a buffer position
+  sink,     ///< leaf with load capacitance and required arrival time
+  steiner,  ///< internal branching / candidate point
+};
+
+const char* to_string(node_kind kind);
+
+struct tree_node {
+  node_id id = invalid_node;
+  node_kind kind = node_kind::steiner;
+  layout::point location;
+  node_id parent = invalid_node;
+  double parent_wire_um = 0.0;  ///< length of the wire to the parent
+  std::vector<node_id> children;
+  double sink_cap_pf = 0.0;  ///< sink only
+  double sink_rat_ps = 0.0;  ///< sink only
+
+  bool is_sink() const { return kind == node_kind::sink; }
+  bool is_source() const { return kind == node_kind::source; }
+};
+
+class routing_tree {
+ public:
+  /// Creates the tree with its source (root) node at `loc`.
+  explicit routing_tree(layout::point source_loc = {});
+
+  node_id root() const { return 0; }
+
+  /// Adds a sink under `parent`. Wire length defaults to Manhattan distance.
+  node_id add_sink(node_id parent, layout::point loc, double cap_pf,
+                   double rat_ps,
+                   double wire_um = -1.0);
+
+  /// Adds an internal (Steiner / candidate) node under `parent`.
+  node_id add_steiner(node_id parent, layout::point loc, double wire_um = -1.0);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_sinks() const { return num_sinks_; }
+  /// Legal buffer positions = every node except the source.
+  std::size_t num_buffer_positions() const { return nodes_.size() - 1; }
+
+  const tree_node& node(node_id id) const { return nodes_[id]; }
+  tree_node& node(node_id id) { return nodes_[id]; }
+  const std::vector<tree_node>& nodes() const { return nodes_; }
+
+  /// Node ids in postorder (children before parents; root last). Computed
+  /// iteratively, so arbitrarily deep trees are safe.
+  std::vector<node_id> postorder() const;
+
+  /// All sink ids, in id order.
+  std::vector<node_id> sinks() const;
+
+  /// Sum of all wire lengths, um.
+  double total_wire_um() const;
+
+  /// Smallest bbox containing every node location.
+  layout::bbox bounding_box() const;
+
+  /// Checks structural invariants (single root, parent/child consistency,
+  /// sinks are leaves, no cycles, wire lengths >= 0). Throws
+  /// std::logic_error with a description on violation.
+  void validate() const;
+
+ private:
+  node_id add_node(node_kind kind, node_id parent, layout::point loc,
+                   double wire_um);
+
+  std::vector<tree_node> nodes_;
+  std::size_t num_sinks_ = 0;
+};
+
+}  // namespace vabi::tree

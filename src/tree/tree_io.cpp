@@ -1,0 +1,124 @@
+#include "tree/tree_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace vabi::tree {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw std::runtime_error("tree_io: line " + std::to_string(line) + ": " +
+                           what);
+}
+
+}  // namespace
+
+void write_tree(std::ostream& os, const routing_tree& tree) {
+  os << "vabi-tree v1\n";
+  os << "nodes " << tree.num_nodes() << "\n";
+  os << std::setprecision(17);
+  for (const auto& n : tree.nodes()) {
+    os << n.id << ' ' << to_string(n.kind) << ' ' << n.location.x << ' '
+       << n.location.y;
+    if (!n.is_source()) {
+      os << ' ' << n.parent << ' ' << n.parent_wire_um;
+    }
+    if (n.is_sink()) {
+      os << ' ' << n.sink_cap_pf << ' ' << n.sink_rat_ps;
+    }
+    os << '\n';
+  }
+}
+
+std::string write_tree_to_string(const routing_tree& tree) {
+  std::ostringstream os;
+  write_tree(os, tree);
+  return os.str();
+}
+
+routing_tree read_tree(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      if (!line.empty() && line.front() != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "vabi-tree v1") {
+    parse_error(line_no, "expected header 'vabi-tree v1'");
+  }
+  if (!next_line()) parse_error(line_no, "expected 'nodes <count>'");
+  std::size_t count = 0;
+  {
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw >> count) || kw != "nodes" || count == 0) {
+      parse_error(line_no, "expected 'nodes <count>'");
+    }
+  }
+
+  routing_tree tree;  // placeholder source; replaced below on first line
+  bool seen_source = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!next_line()) parse_error(line_no, "unexpected end of file");
+    std::istringstream ls(line);
+    node_id id = 0;
+    std::string kind;
+    double x = 0.0;
+    double y = 0.0;
+    if (!(ls >> id >> kind >> x >> y)) {
+      parse_error(line_no, "malformed node line");
+    }
+    if (id != i) parse_error(line_no, "node ids must be dense and in order");
+    if (kind == "source") {
+      if (i != 0) parse_error(line_no, "source must be node 0");
+      tree = routing_tree{{x, y}};
+      seen_source = true;
+      continue;
+    }
+    if (!seen_source) parse_error(line_no, "first node must be the source");
+    node_id parent = 0;
+    double wire = 0.0;
+    if (!(ls >> parent >> wire)) {
+      parse_error(line_no, "missing parent / wire length");
+    }
+    if (kind == "steiner") {
+      tree.add_steiner(parent, {x, y}, wire);
+    } else if (kind == "sink") {
+      double cap = 0.0;
+      double rat = 0.0;
+      if (!(ls >> cap >> rat)) parse_error(line_no, "missing sink cap / rat");
+      tree.add_sink(parent, {x, y}, cap, rat, wire);
+    } else {
+      parse_error(line_no, "unknown node kind '" + kind + "'");
+    }
+  }
+  tree.validate();
+  return tree;
+}
+
+routing_tree read_tree_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_tree(is);
+}
+
+void save_tree(const std::string& path, const routing_tree& tree) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("tree_io: cannot open " + path);
+  write_tree(os, tree);
+}
+
+routing_tree load_tree(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("tree_io: cannot open " + path);
+  return read_tree(is);
+}
+
+}  // namespace vabi::tree

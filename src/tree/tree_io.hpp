@@ -1,0 +1,33 @@
+// Plain-text serialization of routing trees.
+//
+// Format (one node per line, parents before children):
+//
+//   vabi-tree v1
+//   nodes <count>
+//   <id> source  <x> <y>
+//   <id> steiner <x> <y> <parent> <wire_um>
+//   <id> sink    <x> <y> <parent> <wire_um> <cap_pf> <rat_ps>
+//
+// Lines starting with '#' are comments. The format round-trips exactly and is
+// intended for exchanging benchmarks and for golden-file tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tree/routing_tree.hpp"
+
+namespace vabi::tree {
+
+void write_tree(std::ostream& os, const routing_tree& tree);
+std::string write_tree_to_string(const routing_tree& tree);
+
+/// Parses a tree; throws std::runtime_error with a line-numbered message on
+/// malformed input. The result is validate()d before returning.
+routing_tree read_tree(std::istream& is);
+routing_tree read_tree_from_string(const std::string& text);
+
+void save_tree(const std::string& path, const routing_tree& tree);
+routing_tree load_tree(const std::string& path);
+
+}  // namespace vabi::tree

@@ -1,0 +1,94 @@
+#include "device/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "timing/buffer_library.hpp"
+
+namespace vabi::device {
+namespace {
+
+transistor_model make_model() {
+  return transistor_model{transistor_model_config{},
+                          timing::standard_library()[0]};
+}
+
+TEST(Characterize, FitInterceptNearNominal) {
+  const auto m = make_model();
+  characterization_config c;
+  c.samples = 4000;
+  const auto r = characterize_buffer(m, c);
+  EXPECT_NEAR(r.cap_nominal_pf, m.reference().cap_pf,
+              0.02 * m.reference().cap_pf);
+  EXPECT_NEAR(r.delay_nominal_ps, m.reference().delay_ps,
+              0.03 * m.reference().delay_ps);
+}
+
+TEST(Characterize, FirstOrderFitIsGoodForSmallVariation) {
+  // Fig. 3's claim: for small parametric variation the linear fit (and hence
+  // the normal approximation) is close to the true nonlinear distribution.
+  const auto m = make_model();
+  characterization_config c;
+  c.samples = 8000;
+  c.leff_sigma_frac = 0.10;  // the paper's setting
+  const auto r = characterize_buffer(m, c);
+  EXPECT_GT(r.delay_fit.r_squared, 0.98);
+  EXPECT_LT(r.delay_ks_to_fitted_normal, 0.05);
+  // Cap is exactly linear in leff in our model: nearly perfect fit.
+  EXPECT_GT(r.cap_fit.r_squared, 0.999);
+}
+
+TEST(Characterize, SigmaScalesWithParameterSpread) {
+  const auto m = make_model();
+  characterization_config narrow;
+  narrow.samples = 3000;
+  narrow.leff_sigma_frac = 0.05;
+  characterization_config wide = narrow;
+  wide.leff_sigma_frac = 0.10;
+  const auto rn = characterize_buffer(m, narrow);
+  const auto rw = characterize_buffer(m, wide);
+  EXPECT_NEAR(rw.delay_sigma_ps / rn.delay_sigma_ps, 2.0, 0.25);
+}
+
+TEST(Characterize, DelaySensitivityToLeffIsPositive) {
+  const auto m = make_model();
+  characterization_config c;
+  c.samples = 3000;
+  const auto r = characterize_buffer(m, c);
+  EXPECT_GT(r.delay_fit.coeffs[0], 0.0);  // longer channel -> slower
+  EXPECT_GT(r.cap_fit.coeffs[0], 0.0);    // longer channel -> more cap
+}
+
+TEST(Characterize, MultiParameterFit) {
+  const auto m = make_model();
+  characterization_config c;
+  c.samples = 6000;
+  c.leff_sigma_frac = 0.08;
+  c.tox_sigma_frac = 0.04;
+  c.ndop_sigma_frac = 0.05;
+  const auto r = characterize_buffer(m, c);
+  EXPECT_GT(r.delay_fit.r_squared, 0.95);
+  // All three parameters must register a nonzero delay sensitivity.
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NE(r.delay_fit.coeffs[j], 0.0) << "param " << j;
+  }
+}
+
+TEST(Characterize, DeterministicInSeed) {
+  const auto m = make_model();
+  characterization_config c;
+  c.samples = 1000;
+  const auto a = characterize_buffer(m, c);
+  const auto b = characterize_buffer(m, c);
+  EXPECT_DOUBLE_EQ(a.delay_nominal_ps, b.delay_nominal_ps);
+  EXPECT_DOUBLE_EQ(a.delay_sigma_ps, b.delay_sigma_ps);
+}
+
+TEST(Characterize, RejectsTooFewSamples) {
+  const auto m = make_model();
+  characterization_config c;
+  c.samples = 4;
+  EXPECT_THROW(characterize_buffer(m, c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vabi::device

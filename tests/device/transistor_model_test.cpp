@@ -1,0 +1,93 @@
+#include "device/transistor_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "timing/buffer_library.hpp"
+
+namespace vabi::device {
+namespace {
+
+transistor_model make_model() {
+  return transistor_model{transistor_model_config{},
+                          timing::standard_library()[0]};
+}
+
+TEST(TransistorModel, ReproducesReferenceAtNominal) {
+  const auto m = make_model();
+  const auto d = m.extract(m.config().nominal, 1.0);
+  EXPECT_NEAR(d.cap_pf, m.reference().cap_pf, 1e-12);
+  EXPECT_NEAR(d.delay_ps, m.reference().delay_ps, 1e-12);
+  EXPECT_NEAR(d.res_ohm, m.reference().res_ohm, 1e-12);
+}
+
+TEST(TransistorModel, SizeScalesCapAndResistance) {
+  const auto m = make_model();
+  const auto d1 = m.extract(m.config().nominal, 1.0);
+  const auto d2 = m.extract(m.config().nominal, 2.0);
+  EXPECT_NEAR(d2.cap_pf, 2.0 * d1.cap_pf, 1e-12);
+  EXPECT_NEAR(d2.res_ohm, 0.5 * d1.res_ohm, 1e-12);
+  // Intrinsic delay is size-independent (R down, C up).
+  EXPECT_NEAR(d2.delay_ps, d1.delay_ps, 1e-12);
+}
+
+TEST(TransistorModel, LongerChannelSlowerDevice) {
+  const auto m = make_model();
+  process_point p = m.config().nominal;
+  p.leff_nm *= 1.1;
+  const auto d = m.extract(p);
+  const auto n = m.extract(m.config().nominal);
+  EXPECT_GT(d.delay_ps, n.delay_ps);
+  EXPECT_GT(d.cap_pf, n.cap_pf);  // more gate area
+  EXPECT_GT(d.res_ohm, n.res_ohm);  // less drive
+}
+
+TEST(TransistorModel, ThinnerOxideStrongerDevice) {
+  const auto m = make_model();
+  process_point p = m.config().nominal;
+  p.tox_nm *= 0.9;
+  const auto d = m.extract(p);
+  const auto n = m.extract(m.config().nominal);
+  EXPECT_LT(d.res_ohm, n.res_ohm);
+  EXPECT_GT(d.cap_pf, n.cap_pf);
+}
+
+TEST(TransistorModel, HigherDopingRaisesVthAndDelay) {
+  const auto m = make_model();
+  process_point hi = m.config().nominal;
+  hi.ndop_rel *= 1.2;
+  EXPECT_GT(m.threshold_voltage(hi),
+            m.threshold_voltage(m.config().nominal));
+  EXPECT_GT(m.extract(hi).delay_ps, m.extract(m.config().nominal).delay_ps);
+}
+
+TEST(TransistorModel, ShortChannelLowersVth) {
+  const auto m = make_model();
+  process_point p = m.config().nominal;
+  p.leff_nm *= 0.85;
+  EXPECT_LT(m.threshold_voltage(p), m.threshold_voltage(m.config().nominal));
+}
+
+TEST(TransistorModel, ResponseIsNonlinearInLeff) {
+  // Secant slopes on the two sides of nominal must differ: this is what the
+  // first-order fit of Fig. 3 approximates.
+  const auto m = make_model();
+  process_point lo = m.config().nominal;
+  process_point hi = m.config().nominal;
+  lo.leff_nm *= 0.8;
+  hi.leff_nm *= 1.2;
+  const double nominal = m.extract(m.config().nominal).delay_ps;
+  const double slope_lo = nominal - m.extract(lo).delay_ps;
+  const double slope_hi = m.extract(hi).delay_ps - nominal;
+  EXPECT_GT(std::abs(slope_hi - slope_lo), 1e-3 * std::abs(slope_hi));
+}
+
+TEST(TransistorModel, RejectsBadInput) {
+  const auto m = make_model();
+  EXPECT_THROW(m.extract(m.config().nominal, 0.0), std::invalid_argument);
+  process_point dead = m.config().nominal;
+  dead.ndop_rel = 1e6;  // Vth above Vdd
+  EXPECT_THROW(m.extract(dead), std::domain_error);
+}
+
+}  // namespace
+}  // namespace vabi::device

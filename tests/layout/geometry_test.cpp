@@ -1,0 +1,50 @@
+#include "layout/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vabi::layout {
+namespace {
+
+TEST(Geometry, Distances) {
+  const point a{0.0, 0.0};
+  const point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(manhattan_distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(manhattan_distance(a, a), 0.0);
+}
+
+TEST(Geometry, BboxBasics) {
+  const bbox box{{1.0, 2.0}, {5.0, 8.0}};
+  EXPECT_DOUBLE_EQ(box.width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.height(), 6.0);
+  EXPECT_DOUBLE_EQ(box.area(), 24.0);
+  EXPECT_TRUE(box.contains({3.0, 5.0}));
+  EXPECT_TRUE(box.contains({1.0, 2.0}));  // boundary
+  EXPECT_FALSE(box.contains({0.0, 5.0}));
+  EXPECT_EQ(box.center(), (point{3.0, 5.0}));
+}
+
+TEST(Geometry, BboxClamp) {
+  const bbox box{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_EQ(box.clamp({-5.0, 5.0}), (point{0.0, 5.0}));
+  EXPECT_EQ(box.clamp({15.0, 12.0}), (point{10.0, 10.0}));
+  EXPECT_EQ(box.clamp({3.0, 4.0}), (point{3.0, 4.0}));
+}
+
+TEST(Geometry, BboxExpand) {
+  bbox box{{1.0, 1.0}, {1.0, 1.0}};
+  box.expand({3.0, 0.0});
+  box.expand({-1.0, 2.0});
+  EXPECT_EQ(box.lo, (point{-1.0, 0.0}));
+  EXPECT_EQ(box.hi, (point{3.0, 2.0}));
+}
+
+TEST(Geometry, SquareDie) {
+  const bbox die = square_die(1000.0);
+  EXPECT_DOUBLE_EQ(die.width(), 1000.0);
+  EXPECT_DOUBLE_EQ(die.height(), 1000.0);
+  EXPECT_EQ(die.lo, (point{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace vabi::layout

@@ -1,0 +1,71 @@
+#include "layout/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vabi::layout {
+namespace {
+
+TEST(DieGrid, DimensionsRoundUp) {
+  die_grid g{square_die(1200.0), 500.0};
+  EXPECT_EQ(g.cols(), 3u);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.num_cells(), 9u);
+}
+
+TEST(DieGrid, RejectsDegenerateInput) {
+  EXPECT_THROW(die_grid(square_die(1000.0), 0.0), std::invalid_argument);
+  EXPECT_THROW(die_grid(square_die(0.0), 100.0), std::invalid_argument);
+}
+
+TEST(DieGrid, CellOfMapsCorrectly) {
+  die_grid g{square_die(1000.0), 500.0};  // 2x2
+  EXPECT_EQ(g.cell_of({100.0, 100.0}), 0u);
+  EXPECT_EQ(g.cell_of({600.0, 100.0}), 1u);
+  EXPECT_EQ(g.cell_of({100.0, 600.0}), 2u);
+  EXPECT_EQ(g.cell_of({600.0, 600.0}), 3u);
+}
+
+TEST(DieGrid, ClampsOutOfDiePoints) {
+  die_grid g{square_die(1000.0), 500.0};
+  EXPECT_EQ(g.cell_of({-50.0, -50.0}), 0u);
+  EXPECT_EQ(g.cell_of({2000.0, 2000.0}), 3u);
+  // The die boundary itself lands in the last cell, not out of range.
+  EXPECT_EQ(g.cell_of({1000.0, 1000.0}), 3u);
+}
+
+TEST(DieGrid, CellCenters) {
+  die_grid g{square_die(1000.0), 500.0};
+  EXPECT_EQ(g.cell_center(0), (point{250.0, 250.0}));
+  EXPECT_EQ(g.cell_center(3), (point{750.0, 750.0}));
+}
+
+TEST(DieGrid, CellOfCenterRoundTrips) {
+  die_grid g{square_die(3300.0), 500.0};
+  for (cell_index c = 0; c < g.num_cells(); ++c) {
+    EXPECT_EQ(g.cell_of(g.cell_center(c)), c);
+  }
+}
+
+TEST(DieGrid, CellsWithinRadius) {
+  die_grid g{square_die(2500.0), 500.0};  // 5x5
+  // Radius reaching only the containing cell's center.
+  const auto near = g.cells_within({1250.0, 1250.0}, 10.0);
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0], g.cell_of({1250.0, 1250.0}));
+  // Radius covering everything.
+  const auto all = g.cells_within({1250.0, 1250.0}, 5000.0);
+  EXPECT_EQ(all.size(), g.num_cells());
+  // Negative radius: empty.
+  EXPECT_TRUE(g.cells_within({1250.0, 1250.0}, -1.0).empty());
+}
+
+TEST(DieGrid, CellsWithinIsSortedAndUnique) {
+  die_grid g{square_die(4000.0), 500.0};
+  const auto cells = g.cells_within({1700.0, 2200.0}, 1200.0);
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_LT(cells[i - 1], cells[i]);
+  }
+}
+
+}  // namespace
+}  // namespace vabi::layout

@@ -1,0 +1,106 @@
+#include "layout/process_model.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace vabi::layout {
+namespace {
+
+process_model_config make_config(variation_mode mode) {
+  process_model_config c;
+  c.mode = mode;
+  return c;
+}
+
+TEST(VariationMode, Names) {
+  EXPECT_STREQ(to_string(nom_mode()), "NOM");
+  EXPECT_STREQ(to_string(d2d_mode()), "D2D");
+  EXPECT_STREQ(to_string(wid_mode()), "WID");
+  EXPECT_STREQ(to_string(variation_mode{true, false, false}), "custom");
+}
+
+TEST(ProcessModel, NomIsDeterministic) {
+  process_model m{square_die(4000.0), make_config(nom_mode())};
+  EXPECT_TRUE(m.is_deterministic());
+  const auto dv = m.characterize({1000.0, 1000.0}, 0.02, 30.0);
+  EXPECT_TRUE(dv.cap.is_deterministic());
+  EXPECT_TRUE(dv.delay.is_deterministic());
+  EXPECT_FALSE(dv.random_source.has_value());
+  EXPECT_DOUBLE_EQ(dv.cap.mean(), 0.02);
+  EXPECT_DOUBLE_EQ(dv.delay.mean(), 30.0);
+}
+
+TEST(ProcessModel, D2dHasRandomAndInterDieOnly) {
+  process_model m{square_die(4000.0), make_config(d2d_mode())};
+  const auto dv = m.characterize({1000.0, 1000.0}, 0.02, 30.0);
+  ASSERT_TRUE(dv.random_source.has_value());
+  // 5% random + 5% inter-die, no spatial: sigma = nominal*sqrt(2)*0.05.
+  EXPECT_NEAR(dv.delay.stddev(m.space()), 30.0 * 0.05 * std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(dv.cap.stddev(m.space()), 0.02 * 0.05 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(ProcessModel, WidAddsSpatialBudget) {
+  process_model m{square_die(4000.0), make_config(wid_mode())};
+  const auto dv = m.characterize({2000.0, 2000.0}, 0.02, 30.0);
+  // Homogeneous spatial adds another 5%: sigma = nominal*0.05*sqrt(3).
+  EXPECT_NEAR(dv.delay.stddev(m.space()), 30.0 * 0.05 * std::sqrt(3.0), 1e-9);
+}
+
+TEST(ProcessModel, CapAndDelayOfOneDeviceAreFullyCorrelated) {
+  process_model m{square_die(4000.0), make_config(wid_mode())};
+  const auto dv = m.characterize({1500.0, 2500.0}, 0.02, 30.0);
+  // Same sources with proportional coefficients -> correlation 1.
+  EXPECT_NEAR(stats::correlation(dv.cap, dv.delay, m.space()), 1.0, 1e-12);
+}
+
+TEST(ProcessModel, DistinctDevicesGetDistinctRandomSources) {
+  process_model m{square_die(4000.0), make_config(d2d_mode())};
+  const auto a = m.characterize({100.0, 100.0}, 0.02, 30.0);
+  const auto b = m.characterize({100.0, 100.0}, 0.02, 30.0);
+  ASSERT_TRUE(a.random_source.has_value());
+  ASSERT_TRUE(b.random_source.has_value());
+  EXPECT_NE(*a.random_source, *b.random_source);
+}
+
+TEST(ProcessModel, InterDieCorrelatesAllDevices) {
+  process_model_config c = make_config({false, true, false});
+  process_model m{square_die(4000.0), c};
+  const auto a = m.characterize({100.0, 100.0}, 0.02, 30.0);
+  const auto b = m.characterize({3900.0, 3900.0}, 0.02, 30.0);
+  // Only the shared global G: delays perfectly correlated.
+  EXPECT_NEAR(stats::correlation(a.delay, b.delay, m.space()), 1.0, 1e-12);
+}
+
+TEST(ProcessModel, SpatialCorrelationDecaysWithDistance) {
+  process_model_config c = make_config({false, false, true});
+  process_model m{square_die(10000.0), c};
+  const auto a = m.characterize({5000.0, 5000.0}, 0.02, 30.0);
+  const auto near = m.characterize({5300.0, 5000.0}, 0.02, 30.0);
+  const auto far = m.characterize({9800.0, 5000.0}, 0.02, 30.0);
+  const double rho_near = stats::correlation(a.delay, near.delay, m.space());
+  const double rho_far = stats::correlation(a.delay, far.delay, m.space());
+  EXPECT_GT(rho_near, 0.5);
+  EXPECT_LT(rho_far, 0.05);
+}
+
+TEST(ProcessModel, HeterogeneousProfileAffectsSigma) {
+  process_model_config c = make_config(wid_mode());
+  c.spatial.profile = spatial_profile::heterogeneous;
+  process_model m{square_die(4000.0), c};
+  const auto sw = m.characterize({200.0, 200.0}, 0.02, 30.0);
+  const auto ne = m.characterize({3800.0, 3800.0}, 0.02, 30.0);
+  EXPECT_LT(sw.delay.stddev(m.space()), ne.delay.stddev(m.space()));
+}
+
+TEST(ProcessModel, ZeroBudgetAddsNoTerms) {
+  process_model_config c = make_config(wid_mode());
+  c.budgets = {{0.0, 0.0}, {0.0, 0.0}, {0.0, 0.0}};
+  process_model m{square_die(4000.0), c};
+  const auto dv = m.characterize({1000.0, 1000.0}, 0.02, 30.0);
+  EXPECT_TRUE(dv.cap.is_deterministic());
+  EXPECT_TRUE(dv.delay.is_deterministic());
+}
+
+}  // namespace
+}  // namespace vabi::layout

@@ -1,0 +1,82 @@
+#include "stats/empirical.hpp"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace vabi::stats {
+namespace {
+
+TEST(Moments, EmptyAndSingleton) {
+  EXPECT_EQ(compute_moments({}).n, 0u);
+  const std::vector<double> one{4.0};
+  const auto m = compute_moments(one);
+  EXPECT_DOUBLE_EQ(m.mean, 4.0);
+  EXPECT_DOUBLE_EQ(m.stddev, 0.0);
+}
+
+TEST(Moments, KnownSmallSet) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const auto m = compute_moments(v);
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_NEAR(m.stddev, std::sqrt(5.0 / 3.0), 1e-12);  // unbiased
+  EXPECT_NEAR(m.skewness, 0.0, 1e-12);
+}
+
+TEST(EmpiricalDistribution, RejectsEmpty) {
+  EXPECT_THROW(empirical_distribution{std::vector<double>{}},
+               std::invalid_argument);
+}
+
+TEST(EmpiricalDistribution, QuantilesOfKnownSet) {
+  empirical_distribution d{{3.0, 1.0, 2.0, 4.0, 5.0}};
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 5.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.25), 2.0);
+  EXPECT_THROW(d.quantile(1.5), std::domain_error);
+}
+
+TEST(EmpiricalDistribution, CdfCountsFraction) {
+  empirical_distribution d{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(10.0), 1.0);
+}
+
+TEST(EmpiricalDistribution, KsDistanceSmallForNormalSamples) {
+  auto rng = make_rng(2024);
+  std::normal_distribution<double> n(10.0, 2.0);
+  std::vector<double> v(20000);
+  for (auto& x : v) x = n(rng);
+  empirical_distribution d{std::move(v)};
+  EXPECT_LT(d.ks_distance_to_normal(10.0, 2.0), 0.02);
+  // Against the wrong distribution the distance must be large.
+  EXPECT_GT(d.ks_distance_to_normal(12.0, 2.0), 0.3);
+}
+
+TEST(EmpiricalDistribution, DensityHistogramIntegratesToOne) {
+  auto rng = make_rng(9);
+  std::normal_distribution<double> n(0.0, 1.0);
+  std::vector<double> v(5000);
+  for (auto& x : v) x = n(rng);
+  empirical_distribution d{std::move(v)};
+  const auto bins = d.density_histogram(40);
+  ASSERT_EQ(bins.size(), 40u);
+  const double width = bins[1].first - bins[0].first;
+  double area = 0.0;
+  for (const auto& [x, dens] : bins) area += dens * width;
+  EXPECT_NEAR(area, 1.0, 1e-9);
+}
+
+TEST(EmpiricalDistribution, HistogramRejectsZeroBins) {
+  empirical_distribution d{{1.0, 2.0}};
+  EXPECT_THROW(d.density_histogram(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vabi::stats

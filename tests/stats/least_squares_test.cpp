@@ -1,0 +1,77 @@
+#include "stats/least_squares.hpp"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace vabi::stats {
+namespace {
+
+TEST(SolveSpd, Identity) {
+  const auto x = solve_spd({1, 0, 0, 1}, {3.0, 4.0}, 2);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(SolveSpd, KnownSystem) {
+  // A = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0].
+  const auto x = solve_spd({4, 2, 2, 3}, {2.0, 1.0}, 2);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
+  EXPECT_NEAR(x[1], 0.0, 1e-12);
+}
+
+TEST(SolveSpd, RejectsNonSpd) {
+  EXPECT_THROW(solve_spd({0, 0, 0, 0}, {1.0, 1.0}, 2), std::invalid_argument);
+  EXPECT_THROW(solve_spd({1, 2, 3}, {1.0}, 2), std::invalid_argument);
+}
+
+TEST(FitLinear, RecoversExactLinearModel) {
+  // y = 2 + 3*a - b, noise-free.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (double a : {-1.0, 0.0, 1.0, 2.0}) {
+    for (double b : {-2.0, 0.5, 3.0}) {
+      rows.push_back({a, b});
+      y.push_back(2.0 + 3.0 * a - b);
+    }
+  }
+  const auto fit = fit_linear(rows, y);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-10);
+  EXPECT_NEAR(fit.coeffs[0], 3.0, 1e-10);
+  EXPECT_NEAR(fit.coeffs[1], -1.0, 1e-10);
+  EXPECT_NEAR(fit.rms_residual, 0.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyFitHasReasonableResidual) {
+  auto rng = make_rng(31);
+  std::normal_distribution<double> noise(0.0, 0.1);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double a = u(rng);
+    rows.push_back({a});
+    y.push_back(1.0 + 2.0 * a + noise(rng));
+  }
+  const auto fit = fit_linear(rows, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 0.05);
+  EXPECT_NEAR(fit.coeffs[0], 2.0, 0.05);
+  EXPECT_NEAR(fit.rms_residual, 0.1, 0.03);
+  EXPECT_GT(fit.r_squared, 0.97);
+}
+
+TEST(FitLinear, RejectsBadShapes) {
+  EXPECT_THROW(fit_linear({}, std::vector<double>{}), std::invalid_argument);
+  std::vector<std::vector<double>> ragged{{1.0}, {1.0, 2.0}};
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(fit_linear(ragged, y), std::invalid_argument);
+  std::vector<std::vector<double>> under{{1.0, 2.0}};
+  std::vector<double> y1{1.0};
+  EXPECT_THROW(fit_linear(under, y1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vabi::stats

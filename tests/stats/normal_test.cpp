@@ -1,0 +1,78 @@
+#include "stats/normal.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace vabi::stats {
+namespace {
+
+TEST(NormalPdf, PeakAtZero) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_GT(normal_pdf(0.0), normal_pdf(0.1));
+  EXPECT_DOUBLE_EQ(normal_pdf(1.5), normal_pdf(-1.5));
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145705, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(normal_cdf(6.0), 1.0, 1e-9);
+  EXPECT_NEAR(normal_cdf(-6.0), 9.865876e-10, 1e-12);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double x : {0.1, 0.7, 1.3, 2.9, 4.2}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-14) << "x=" << x;
+  }
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.05), -1.6448536269514722, 1e-9);
+}
+
+TEST(NormalQuantile, RejectsOutOfDomain) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(-0.1), std::domain_error);
+}
+
+TEST(NormalExceedance, DegenerateSigmaComparesMeans) {
+  EXPECT_DOUBLE_EQ(normal_exceedance(2.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(normal_exceedance(1.0, 0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(normal_exceedance(1.0, 0.0, 1.0), 0.5);
+}
+
+TEST(NormalExceedance, MatchesCdf) {
+  EXPECT_NEAR(normal_exceedance(3.0, 2.0, 1.0), normal_cdf(1.0), 1e-15);
+  EXPECT_NEAR(normal_exceedance(0.0, 1.0, 0.0), 0.5, 1e-15);
+}
+
+TEST(NormalPercentile, ShiftsAndScales) {
+  EXPECT_NEAR(normal_percentile(10.0, 2.0, 0.5), 10.0, 1e-12);
+  EXPECT_NEAR(normal_percentile(10.0, 2.0, 0.975), 10.0 + 2.0 * 1.9599639845,
+              1e-6);
+  EXPECT_DOUBLE_EQ(normal_percentile(7.0, 0.0, 0.01), 7.0);
+}
+
+// Property sweep: Phi is monotone nondecreasing on a fine grid.
+class NormalCdfMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalCdfMonotone, Monotone) {
+  const double x = -8.0 + 0.16 * GetParam();
+  EXPECT_LE(normal_cdf(x), normal_cdf(x + 0.16));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, NormalCdfMonotone, ::testing::Range(0, 100));
+
+}  // namespace
+}  // namespace vabi::stats

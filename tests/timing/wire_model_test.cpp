@@ -1,0 +1,60 @@
+#include "timing/wire_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vabi::timing {
+namespace {
+
+TEST(WireModel, CapScalesLinearly) {
+  wire_model w;
+  EXPECT_DOUBLE_EQ(w.wire_cap(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.wire_cap(1000.0), w.cap_per_um * 1000.0);
+  EXPECT_DOUBLE_EQ(w.wire_cap(2000.0), 2.0 * w.wire_cap(1000.0));
+}
+
+TEST(WireModel, ElmoreDelayFormula) {
+  wire_model w{0.1, 0.002};  // r = 0.1 ohm/um, c = 0.002 pF/um
+  // delay = r*l*L + r*c*l^2/2 = 0.1*100*0.5 + 0.1*0.002*10000/2 = 5 + 1.
+  EXPECT_DOUBLE_EQ(w.wire_delay(100.0, 0.5), 6.0);
+  EXPECT_DOUBLE_EQ(w.wire_delay(0.0, 0.5), 0.0);
+}
+
+TEST(WireModel, QuadraticInLengthWithoutLoad) {
+  wire_model w;
+  const double d1 = w.wire_delay(500.0, 0.0);
+  const double d2 = w.wire_delay(1000.0, 0.0);
+  EXPECT_NEAR(d2 / d1, 4.0, 1e-12);
+}
+
+TEST(WireModel, SplittingWireWithRepeaterlessJointIsExact) {
+  // Elmore: a wire of length 2l into load L equals wire l into (wire l into L)
+  // only when the pi models compose; check the identity used by the DP:
+  // delay(2l, L) = delay(l, L + c*l) + delay(l, L).
+  wire_model w;
+  const double l = 700.0;
+  const double load = 0.03;
+  const double whole = w.wire_delay(2.0 * l, load);
+  const double split =
+      w.wire_delay(l, load + w.wire_cap(l)) + w.wire_delay(l, load);
+  EXPECT_NEAR(whole, split, 1e-9);
+}
+
+TEST(WireModel, ValidateRejectsNegative) {
+  wire_model w{-1.0, 0.001};
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+  wire_model w2{0.1, -0.001};
+  EXPECT_THROW(w2.validate(), std::invalid_argument);
+  wire_model ok;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(WireModel, DefaultUnitsProducePicoseconds) {
+  // 1 mm of default wire into a 23.4 fF buffer: sanity band in ps.
+  wire_model w;
+  const double d = w.wire_delay(1000.0, 0.0234);
+  EXPECT_GT(d, 1.0);
+  EXPECT_LT(d, 100.0);
+}
+
+}  // namespace
+}  // namespace vabi::timing

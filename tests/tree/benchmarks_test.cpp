@@ -1,0 +1,53 @@
+#include "tree/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vabi::tree {
+namespace {
+
+TEST(Benchmarks, SuiteMatchesTable1) {
+  const auto& specs = paper_benchmarks();
+  ASSERT_EQ(specs.size(), 7u);
+  // Table 1 of the paper: (name, sinks, buffer positions).
+  const std::vector<std::tuple<std::string, std::size_t, std::size_t>> table1 =
+      {{"p1", 269, 537},  {"p2", 603, 1205},  {"r1", 267, 533},
+       {"r2", 598, 1195}, {"r3", 862, 1723},  {"r4", 1903, 3805},
+       {"r5", 3101, 6201}};
+  for (std::size_t i = 0; i < table1.size(); ++i) {
+    EXPECT_EQ(specs[i].name, std::get<0>(table1[i]));
+    EXPECT_EQ(specs[i].sinks, std::get<1>(table1[i]));
+    EXPECT_EQ(specs[i].buffer_positions(), std::get<2>(table1[i]));
+  }
+}
+
+TEST(Benchmarks, FindByName) {
+  const auto p1 = find_benchmark("p1");
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->sinks, 269u);
+  EXPECT_FALSE(find_benchmark("nope").has_value());
+}
+
+TEST(Benchmarks, BuiltTreesMatchSpecCounts) {
+  // Build the two smallest; the bigger ones are exercised by the benches.
+  for (const char* name : {"p1", "r1"}) {
+    const auto spec = find_benchmark(name);
+    ASSERT_TRUE(spec.has_value());
+    const routing_tree t = build_benchmark(*spec);
+    EXPECT_EQ(t.num_sinks(), spec->sinks);
+    EXPECT_EQ(t.num_buffer_positions(), spec->buffer_positions());
+    EXPECT_NO_THROW(t.validate());
+  }
+}
+
+TEST(Benchmarks, BuildIsDeterministic) {
+  const auto spec = *find_benchmark("r1");
+  const routing_tree a = build_benchmark(spec);
+  const routing_tree b = build_benchmark(spec);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (node_id id = 0; id < a.num_nodes(); ++id) {
+    EXPECT_DOUBLE_EQ(a.node(id).location.x, b.node(id).location.x);
+  }
+}
+
+}  // namespace
+}  // namespace vabi::tree

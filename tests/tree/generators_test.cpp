@@ -1,0 +1,165 @@
+#include "tree/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vabi::tree {
+namespace {
+
+TEST(RandomTree, SinkAndPositionCountsMatchTable1Convention) {
+  for (std::size_t n : {1u, 2u, 3u, 10u, 269u}) {
+    random_tree_options o;
+    o.num_sinks = n;
+    o.seed = n;
+    const routing_tree t = make_random_tree(o);
+    EXPECT_EQ(t.num_sinks(), n);
+    if (n > 1) {
+      EXPECT_EQ(t.num_buffer_positions(), 2 * n - 1) << "sinks=" << n;
+    }
+    EXPECT_NO_THROW(t.validate());
+  }
+}
+
+TEST(RandomTree, DeterministicInSeed) {
+  random_tree_options o;
+  o.num_sinks = 40;
+  o.seed = 7;
+  const routing_tree a = make_random_tree(o);
+  const routing_tree b = make_random_tree(o);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (node_id id = 0; id < a.num_nodes(); ++id) {
+    EXPECT_DOUBLE_EQ(a.node(id).location.x, b.node(id).location.x);
+    EXPECT_DOUBLE_EQ(a.node(id).location.y, b.node(id).location.y);
+  }
+  o.seed = 8;
+  const routing_tree c = make_random_tree(o);
+  bool any_diff = false;
+  for (node_id id = 0; id < std::min(a.num_nodes(), c.num_nodes()); ++id) {
+    any_diff |= a.node(id).location.x != c.node(id).location.x;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomTree, SinksInsideDie) {
+  random_tree_options o;
+  o.num_sinks = 100;
+  o.die_side_um = 3000.0;
+  o.seed = 3;
+  const routing_tree t = make_random_tree(o);
+  const auto box = t.bounding_box();
+  EXPECT_GE(box.lo.x, 0.0);
+  EXPECT_LE(box.hi.x, 3000.0);
+  EXPECT_GE(box.lo.y, 0.0);
+  EXPECT_LE(box.hi.y, 3000.0);
+}
+
+TEST(RandomTree, SinkCapsWithinRange) {
+  random_tree_options o;
+  o.num_sinks = 64;
+  o.sink_cap_min_pf = 0.01;
+  o.sink_cap_max_pf = 0.02;
+  const routing_tree t = make_random_tree(o);
+  for (node_id s : t.sinks()) {
+    EXPECT_GE(t.node(s).sink_cap_pf, 0.01);
+    EXPECT_LE(t.node(s).sink_cap_pf, 0.02);
+  }
+}
+
+TEST(RandomTree, CriticalityBalanceTightensNearSinks) {
+  random_tree_options o;
+  o.num_sinks = 60;
+  o.die_side_um = 8000.0;
+  o.seed = 44;
+  o.criticality_balance = 1.0;
+  const routing_tree t = make_random_tree(o);
+  const auto src = t.node(t.root()).location;
+  // The farthest sink keeps RAT ~ 0; nearer sinks get more negative RATs,
+  // in proportion to their distance advantage.
+  double max_dist = 0.0;
+  for (node_id s : t.sinks()) {
+    max_dist = std::max(max_dist,
+                        layout::manhattan_distance(src, t.node(s).location));
+  }
+  for (node_id s : t.sinks()) {
+    const double dist = layout::manhattan_distance(src, t.node(s).location);
+    const double expected = -o.balance_delay_per_um * (max_dist - dist);
+    EXPECT_NEAR(t.node(s).sink_rat_ps, expected, 1e-9);
+    EXPECT_LE(t.node(s).sink_rat_ps, 1e-9);
+  }
+}
+
+TEST(RandomTree, ZeroBalanceKeepsFlatRats) {
+  random_tree_options o;
+  o.num_sinks = 20;
+  o.seed = 45;
+  o.sink_rat_ps = -7.0;
+  const routing_tree t = make_random_tree(o);
+  for (node_id s : t.sinks()) {
+    EXPECT_DOUBLE_EQ(t.node(s).sink_rat_ps, -7.0);
+  }
+}
+
+TEST(RandomTree, RejectsBadOptions) {
+  random_tree_options o;
+  o.num_sinks = 0;
+  EXPECT_THROW(make_random_tree(o), std::invalid_argument);
+  o.num_sinks = 2;
+  o.die_side_um = 0.0;
+  EXPECT_THROW(make_random_tree(o), std::invalid_argument);
+}
+
+TEST(HTree, SinkCountIsFourToTheLevels) {
+  for (std::size_t levels : {1u, 2u, 3u, 4u}) {
+    h_tree_options o;
+    o.levels = levels;
+    const routing_tree t = make_h_tree(o);
+    std::size_t expected = 1;
+    for (std::size_t i = 0; i < levels; ++i) expected *= 4;
+    EXPECT_EQ(t.num_sinks(), expected) << "levels=" << levels;
+    EXPECT_NO_THROW(t.validate());
+  }
+}
+
+TEST(HTree, PerfectlySymmetricWireLengths) {
+  h_tree_options o;
+  o.levels = 3;
+  const routing_tree t = make_h_tree(o);
+  // All sinks must be equidistant from the root along tree edges.
+  std::vector<double> depth(t.num_nodes(), 0.0);
+  for (node_id id = 1; id < t.num_nodes(); ++id) {
+    depth[id] = depth[t.node(id).parent] + t.node(id).parent_wire_um;
+  }
+  double first = -1.0;
+  for (node_id s : t.sinks()) {
+    if (first < 0.0) first = depth[s];
+    EXPECT_NEAR(depth[s], first, 1e-9);
+  }
+}
+
+TEST(HTree, RejectsZeroLevels) {
+  h_tree_options o;
+  o.levels = 0;
+  EXPECT_THROW(make_h_tree(o), std::invalid_argument);
+}
+
+TEST(Chain, StructureAndLengths) {
+  chain_options o;
+  o.length_um = 1000.0;
+  o.segments = 4;
+  const routing_tree t = make_chain(o);
+  EXPECT_EQ(t.num_sinks(), 1u);
+  EXPECT_EQ(t.num_nodes(), 5u);  // source + 3 steiner + sink
+  EXPECT_NEAR(t.total_wire_um(), 1000.0, 1e-9);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Chain, SingleSegmentIsDirectWire) {
+  chain_options o;
+  o.segments = 1;
+  const routing_tree t = make_chain(o);
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_THROW((make_chain(chain_options{.length_um = 0.0})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vabi::tree

@@ -1,0 +1,105 @@
+#include "tree/routing_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vabi::tree {
+namespace {
+
+TEST(RoutingTree, StartsWithSourceRoot) {
+  routing_tree t{{5.0, 6.0}};
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_TRUE(t.node(t.root()).is_source());
+  EXPECT_EQ(t.node(t.root()).location, (layout::point{5.0, 6.0}));
+  EXPECT_EQ(t.num_buffer_positions(), 0u);
+}
+
+TEST(RoutingTree, AddSinkDefaultsWireToManhattan) {
+  routing_tree t{{0.0, 0.0}};
+  const auto s = t.add_sink(t.root(), {30.0, 40.0}, 0.01, -5.0);
+  EXPECT_EQ(t.num_sinks(), 1u);
+  EXPECT_DOUBLE_EQ(t.node(s).parent_wire_um, 70.0);
+  EXPECT_DOUBLE_EQ(t.node(s).sink_cap_pf, 0.01);
+  EXPECT_DOUBLE_EQ(t.node(s).sink_rat_ps, -5.0);
+  EXPECT_EQ(t.node(t.root()).children.size(), 1u);
+}
+
+TEST(RoutingTree, ExplicitWireLengthWins) {
+  routing_tree t;
+  const auto s = t.add_steiner(t.root(), {100.0, 0.0}, 250.0);
+  EXPECT_DOUBLE_EQ(t.node(s).parent_wire_um, 250.0);
+}
+
+TEST(RoutingTree, SinksMustBeLeaves) {
+  routing_tree t;
+  const auto s = t.add_sink(t.root(), {10.0, 0.0}, 0.01, 0.0);
+  EXPECT_THROW(t.add_steiner(s, {20.0, 0.0}), std::logic_error);
+  EXPECT_THROW(t.add_sink(s, {20.0, 0.0}, 0.01, 0.0), std::logic_error);
+}
+
+TEST(RoutingTree, RejectsBadParentAndNegativeCap) {
+  routing_tree t;
+  EXPECT_THROW(t.add_steiner(99, {0.0, 0.0}), std::out_of_range);
+  EXPECT_THROW(t.add_sink(t.root(), {1.0, 1.0}, -0.5, 0.0),
+               std::invalid_argument);
+}
+
+TEST(RoutingTree, PostorderVisitsChildrenFirst) {
+  routing_tree t;
+  const auto a = t.add_steiner(t.root(), {10.0, 0.0});
+  const auto s1 = t.add_sink(a, {20.0, 0.0}, 0.01, 0.0);
+  const auto s2 = t.add_sink(a, {10.0, 10.0}, 0.01, 0.0);
+  const auto order = t.postorder();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.back(), t.root());
+  std::vector<std::size_t> pos(t.num_nodes());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[s1], pos[a]);
+  EXPECT_LT(pos[s2], pos[a]);
+  EXPECT_LT(pos[a], pos[t.root()]);
+}
+
+TEST(RoutingTree, SinksListedInIdOrder) {
+  routing_tree t;
+  const auto a = t.add_steiner(t.root(), {10.0, 0.0});
+  const auto s1 = t.add_sink(a, {20.0, 0.0}, 0.01, 0.0);
+  const auto s2 = t.add_sink(a, {30.0, 0.0}, 0.02, 0.0);
+  const auto sinks = t.sinks();
+  ASSERT_EQ(sinks.size(), 2u);
+  EXPECT_EQ(sinks[0], s1);
+  EXPECT_EQ(sinks[1], s2);
+}
+
+TEST(RoutingTree, TotalWireAndBbox) {
+  routing_tree t{{0.0, 0.0}};
+  const auto a = t.add_steiner(t.root(), {100.0, 0.0});
+  t.add_sink(a, {100.0, 50.0}, 0.01, 0.0);
+  EXPECT_DOUBLE_EQ(t.total_wire_um(), 150.0);
+  const auto box = t.bounding_box();
+  EXPECT_EQ(box.lo, (layout::point{0.0, 0.0}));
+  EXPECT_EQ(box.hi, (layout::point{100.0, 50.0}));
+}
+
+TEST(RoutingTree, ValidatePassesOnWellFormedTree) {
+  routing_tree t;
+  const auto a = t.add_steiner(t.root(), {10.0, 0.0});
+  t.add_sink(a, {20.0, 0.0}, 0.01, 0.0);
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(RoutingTree, ValidateRejectsSinklessTree) {
+  routing_tree t;
+  t.add_steiner(t.root(), {10.0, 0.0});
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(RoutingTree, BufferPositionCount) {
+  routing_tree t;
+  const auto a = t.add_steiner(t.root(), {10.0, 0.0});
+  t.add_sink(a, {20.0, 0.0}, 0.01, 0.0);
+  t.add_sink(a, {10.0, 10.0}, 0.01, 0.0);
+  // 4 nodes, 3 legal positions (everything but the source).
+  EXPECT_EQ(t.num_buffer_positions(), 3u);
+}
+
+}  // namespace
+}  // namespace vabi::tree

@@ -1,0 +1,96 @@
+#include "tree/tree_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tree/generators.hpp"
+
+namespace vabi::tree {
+namespace {
+
+routing_tree small_tree() {
+  routing_tree t{{0.0, 0.0}};
+  const auto a = t.add_steiner(t.root(), {100.0, 0.0});
+  t.add_sink(a, {200.0, 0.0}, 0.015, -3.0);
+  t.add_sink(a, {100.0, 150.0}, 0.02, 0.0);
+  return t;
+}
+
+TEST(TreeIo, RoundTripsSmallTree) {
+  const routing_tree t = small_tree();
+  const std::string text = write_tree_to_string(t);
+  const routing_tree u = read_tree_from_string(text);
+  ASSERT_EQ(u.num_nodes(), t.num_nodes());
+  ASSERT_EQ(u.num_sinks(), t.num_sinks());
+  for (node_id id = 0; id < t.num_nodes(); ++id) {
+    EXPECT_EQ(u.node(id).kind, t.node(id).kind);
+    EXPECT_EQ(u.node(id).parent, t.node(id).parent);
+    EXPECT_DOUBLE_EQ(u.node(id).location.x, t.node(id).location.x);
+    EXPECT_DOUBLE_EQ(u.node(id).location.y, t.node(id).location.y);
+    EXPECT_DOUBLE_EQ(u.node(id).parent_wire_um, t.node(id).parent_wire_um);
+    EXPECT_DOUBLE_EQ(u.node(id).sink_cap_pf, t.node(id).sink_cap_pf);
+    EXPECT_DOUBLE_EQ(u.node(id).sink_rat_ps, t.node(id).sink_rat_ps);
+  }
+}
+
+TEST(TreeIo, RoundTripsGeneratedTreeExactly) {
+  random_tree_options o;
+  o.num_sinks = 57;
+  o.seed = 5;
+  const routing_tree t = make_random_tree(o);
+  const routing_tree u =
+      read_tree_from_string(write_tree_to_string(t));
+  EXPECT_EQ(write_tree_to_string(u), write_tree_to_string(t));
+}
+
+TEST(TreeIo, IgnoresComments) {
+  const std::string text =
+      "vabi-tree v1\n"
+      "# a comment\n"
+      "nodes 2\n"
+      "0 source 0 0\n"
+      "# another\n"
+      "1 sink 10 0 0 10 0.01 0\n";
+  const routing_tree t = read_tree_from_string(text);
+  EXPECT_EQ(t.num_sinks(), 1u);
+}
+
+TEST(TreeIo, RejectsBadHeader) {
+  EXPECT_THROW(read_tree_from_string("nope\n"), std::runtime_error);
+  EXPECT_THROW(read_tree_from_string("vabi-tree v1\nnodes 0\n"),
+               std::runtime_error);
+}
+
+TEST(TreeIo, RejectsOutOfOrderIds) {
+  const std::string text =
+      "vabi-tree v1\nnodes 2\n0 source 0 0\n2 sink 1 0 0 1 0.01 0\n";
+  EXPECT_THROW(read_tree_from_string(text), std::runtime_error);
+}
+
+TEST(TreeIo, RejectsMissingSinkFields) {
+  const std::string text =
+      "vabi-tree v1\nnodes 2\n0 source 0 0\n1 sink 1 0 0 1\n";
+  EXPECT_THROW(read_tree_from_string(text), std::runtime_error);
+}
+
+TEST(TreeIo, RejectsUnknownKind) {
+  const std::string text =
+      "vabi-tree v1\nnodes 2\n0 source 0 0\n1 widget 1 0 0 1\n";
+  EXPECT_THROW(read_tree_from_string(text), std::runtime_error);
+}
+
+TEST(TreeIo, RejectsTruncatedFile) {
+  const std::string text = "vabi-tree v1\nnodes 3\n0 source 0 0\n";
+  EXPECT_THROW(read_tree_from_string(text), std::runtime_error);
+}
+
+TEST(TreeIo, SaveAndLoadFile) {
+  const routing_tree t = small_tree();
+  const std::string path = ::testing::TempDir() + "/vabi_tree_io_test.tree";
+  save_tree(path, t);
+  const routing_tree u = load_tree(path);
+  EXPECT_EQ(write_tree_to_string(u), write_tree_to_string(t));
+  EXPECT_THROW(load_tree("/nonexistent/dir/x.tree"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vabi::tree
