@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_2p_params.dir/bench_sweep_2p_params.cpp.o"
+  "CMakeFiles/bench_sweep_2p_params.dir/bench_sweep_2p_params.cpp.o.d"
+  "bench_sweep_2p_params"
+  "bench_sweep_2p_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_2p_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

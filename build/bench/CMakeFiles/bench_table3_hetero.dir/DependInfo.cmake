@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_hetero.cpp" "bench/CMakeFiles/bench_table3_hetero.dir/bench_table3_hetero.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_hetero.dir/bench_table3_hetero.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/vabi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vabi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/vabi_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/vabi_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/vabi_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/vabi_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vabi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

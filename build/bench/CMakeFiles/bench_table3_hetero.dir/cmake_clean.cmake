@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_hetero.dir/bench_table3_hetero.cpp.o"
+  "CMakeFiles/bench_table3_hetero.dir/bench_table3_hetero.cpp.o.d"
+  "bench_table3_hetero"
+  "bench_table3_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

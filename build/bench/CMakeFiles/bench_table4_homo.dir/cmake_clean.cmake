@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_homo.dir/bench_table4_homo.cpp.o"
+  "CMakeFiles/bench_table4_homo.dir/bench_table4_homo.cpp.o.d"
+  "bench_table4_homo"
+  "bench_table4_homo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_homo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

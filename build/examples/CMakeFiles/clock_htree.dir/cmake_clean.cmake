@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_htree.dir/clock_htree.cpp.o"
+  "CMakeFiles/clock_htree.dir/clock_htree.cpp.o.d"
+  "clock_htree"
+  "clock_htree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_htree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

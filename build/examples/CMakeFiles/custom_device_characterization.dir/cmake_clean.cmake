@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_device_characterization.dir/custom_device_characterization.cpp.o"
+  "CMakeFiles/custom_device_characterization.dir/custom_device_characterization.cpp.o.d"
+  "custom_device_characterization"
+  "custom_device_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_device_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

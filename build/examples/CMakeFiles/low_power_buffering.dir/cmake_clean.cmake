@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_power_buffering.dir/low_power_buffering.cpp.o"
+  "CMakeFiles/low_power_buffering.dir/low_power_buffering.cpp.o.d"
+  "low_power_buffering"
+  "low_power_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_power_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

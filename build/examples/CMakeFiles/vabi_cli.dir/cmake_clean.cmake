@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vabi_cli.dir/vabi_cli.cpp.o"
+  "CMakeFiles/vabi_cli.dir/vabi_cli.cpp.o.d"
+  "vabi_cli"
+  "vabi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vabi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yield_driven_design.dir/yield_driven_design.cpp.o"
+  "CMakeFiles/yield_driven_design.dir/yield_driven_design.cpp.o.d"
+  "yield_driven_design"
+  "yield_driven_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yield_driven_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/buffered_tree_model.cpp" "src/analysis/CMakeFiles/vabi_analysis.dir/buffered_tree_model.cpp.o" "gcc" "src/analysis/CMakeFiles/vabi_analysis.dir/buffered_tree_model.cpp.o.d"
+  "/root/repo/src/analysis/clock_skew.cpp" "src/analysis/CMakeFiles/vabi_analysis.dir/clock_skew.cpp.o" "gcc" "src/analysis/CMakeFiles/vabi_analysis.dir/clock_skew.cpp.o.d"
+  "/root/repo/src/analysis/monte_carlo_validation.cpp" "src/analysis/CMakeFiles/vabi_analysis.dir/monte_carlo_validation.cpp.o" "gcc" "src/analysis/CMakeFiles/vabi_analysis.dir/monte_carlo_validation.cpp.o.d"
+  "/root/repo/src/analysis/reporting.cpp" "src/analysis/CMakeFiles/vabi_analysis.dir/reporting.cpp.o" "gcc" "src/analysis/CMakeFiles/vabi_analysis.dir/reporting.cpp.o.d"
+  "/root/repo/src/analysis/variance_breakdown.cpp" "src/analysis/CMakeFiles/vabi_analysis.dir/variance_breakdown.cpp.o" "gcc" "src/analysis/CMakeFiles/vabi_analysis.dir/variance_breakdown.cpp.o.d"
+  "/root/repo/src/analysis/yield.cpp" "src/analysis/CMakeFiles/vabi_analysis.dir/yield.cpp.o" "gcc" "src/analysis/CMakeFiles/vabi_analysis.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vabi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/vabi_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/vabi_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/vabi_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vabi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vabi_analysis.dir/buffered_tree_model.cpp.o"
+  "CMakeFiles/vabi_analysis.dir/buffered_tree_model.cpp.o.d"
+  "CMakeFiles/vabi_analysis.dir/clock_skew.cpp.o"
+  "CMakeFiles/vabi_analysis.dir/clock_skew.cpp.o.d"
+  "CMakeFiles/vabi_analysis.dir/monte_carlo_validation.cpp.o"
+  "CMakeFiles/vabi_analysis.dir/monte_carlo_validation.cpp.o.d"
+  "CMakeFiles/vabi_analysis.dir/reporting.cpp.o"
+  "CMakeFiles/vabi_analysis.dir/reporting.cpp.o.d"
+  "CMakeFiles/vabi_analysis.dir/variance_breakdown.cpp.o"
+  "CMakeFiles/vabi_analysis.dir/variance_breakdown.cpp.o.d"
+  "CMakeFiles/vabi_analysis.dir/yield.cpp.o"
+  "CMakeFiles/vabi_analysis.dir/yield.cpp.o.d"
+  "libvabi_analysis.a"
+  "libvabi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vabi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

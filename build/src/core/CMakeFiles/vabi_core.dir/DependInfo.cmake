@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/vabi_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/vabi_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/cost_bounded.cpp" "src/core/CMakeFiles/vabi_core.dir/cost_bounded.cpp.o" "gcc" "src/core/CMakeFiles/vabi_core.dir/cost_bounded.cpp.o.d"
+  "/root/repo/src/core/pruning.cpp" "src/core/CMakeFiles/vabi_core.dir/pruning.cpp.o" "gcc" "src/core/CMakeFiles/vabi_core.dir/pruning.cpp.o.d"
+  "/root/repo/src/core/solution.cpp" "src/core/CMakeFiles/vabi_core.dir/solution.cpp.o" "gcc" "src/core/CMakeFiles/vabi_core.dir/solution.cpp.o.d"
+  "/root/repo/src/core/statistical_dp.cpp" "src/core/CMakeFiles/vabi_core.dir/statistical_dp.cpp.o" "gcc" "src/core/CMakeFiles/vabi_core.dir/statistical_dp.cpp.o.d"
+  "/root/repo/src/core/van_ginneken.cpp" "src/core/CMakeFiles/vabi_core.dir/van_ginneken.cpp.o" "gcc" "src/core/CMakeFiles/vabi_core.dir/van_ginneken.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/vabi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/vabi_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/vabi_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/vabi_timing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

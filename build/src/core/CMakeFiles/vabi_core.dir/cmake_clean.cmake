@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vabi_core.dir/brute_force.cpp.o"
+  "CMakeFiles/vabi_core.dir/brute_force.cpp.o.d"
+  "CMakeFiles/vabi_core.dir/cost_bounded.cpp.o"
+  "CMakeFiles/vabi_core.dir/cost_bounded.cpp.o.d"
+  "CMakeFiles/vabi_core.dir/pruning.cpp.o"
+  "CMakeFiles/vabi_core.dir/pruning.cpp.o.d"
+  "CMakeFiles/vabi_core.dir/solution.cpp.o"
+  "CMakeFiles/vabi_core.dir/solution.cpp.o.d"
+  "CMakeFiles/vabi_core.dir/statistical_dp.cpp.o"
+  "CMakeFiles/vabi_core.dir/statistical_dp.cpp.o.d"
+  "CMakeFiles/vabi_core.dir/van_ginneken.cpp.o"
+  "CMakeFiles/vabi_core.dir/van_ginneken.cpp.o.d"
+  "libvabi_core.a"
+  "libvabi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vabi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

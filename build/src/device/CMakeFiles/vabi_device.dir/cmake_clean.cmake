@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vabi_device.dir/characterize.cpp.o"
+  "CMakeFiles/vabi_device.dir/characterize.cpp.o.d"
+  "CMakeFiles/vabi_device.dir/transistor_model.cpp.o"
+  "CMakeFiles/vabi_device.dir/transistor_model.cpp.o.d"
+  "libvabi_device.a"
+  "libvabi_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vabi_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/grid.cpp" "src/layout/CMakeFiles/vabi_layout.dir/grid.cpp.o" "gcc" "src/layout/CMakeFiles/vabi_layout.dir/grid.cpp.o.d"
+  "/root/repo/src/layout/process_model.cpp" "src/layout/CMakeFiles/vabi_layout.dir/process_model.cpp.o" "gcc" "src/layout/CMakeFiles/vabi_layout.dir/process_model.cpp.o.d"
+  "/root/repo/src/layout/spatial_model.cpp" "src/layout/CMakeFiles/vabi_layout.dir/spatial_model.cpp.o" "gcc" "src/layout/CMakeFiles/vabi_layout.dir/spatial_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/vabi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

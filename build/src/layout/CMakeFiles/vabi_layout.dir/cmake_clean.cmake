@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vabi_layout.dir/grid.cpp.o"
+  "CMakeFiles/vabi_layout.dir/grid.cpp.o.d"
+  "CMakeFiles/vabi_layout.dir/process_model.cpp.o"
+  "CMakeFiles/vabi_layout.dir/process_model.cpp.o.d"
+  "CMakeFiles/vabi_layout.dir/spatial_model.cpp.o"
+  "CMakeFiles/vabi_layout.dir/spatial_model.cpp.o.d"
+  "libvabi_layout.a"
+  "libvabi_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vabi_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/empirical.cpp" "src/stats/CMakeFiles/vabi_stats.dir/empirical.cpp.o" "gcc" "src/stats/CMakeFiles/vabi_stats.dir/empirical.cpp.o.d"
+  "/root/repo/src/stats/least_squares.cpp" "src/stats/CMakeFiles/vabi_stats.dir/least_squares.cpp.o" "gcc" "src/stats/CMakeFiles/vabi_stats.dir/least_squares.cpp.o.d"
+  "/root/repo/src/stats/linear_form.cpp" "src/stats/CMakeFiles/vabi_stats.dir/linear_form.cpp.o" "gcc" "src/stats/CMakeFiles/vabi_stats.dir/linear_form.cpp.o.d"
+  "/root/repo/src/stats/monte_carlo.cpp" "src/stats/CMakeFiles/vabi_stats.dir/monte_carlo.cpp.o" "gcc" "src/stats/CMakeFiles/vabi_stats.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/stats/normal.cpp" "src/stats/CMakeFiles/vabi_stats.dir/normal.cpp.o" "gcc" "src/stats/CMakeFiles/vabi_stats.dir/normal.cpp.o.d"
+  "/root/repo/src/stats/variation_space.cpp" "src/stats/CMakeFiles/vabi_stats.dir/variation_space.cpp.o" "gcc" "src/stats/CMakeFiles/vabi_stats.dir/variation_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

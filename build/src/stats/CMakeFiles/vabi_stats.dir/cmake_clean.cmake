@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vabi_stats.dir/empirical.cpp.o"
+  "CMakeFiles/vabi_stats.dir/empirical.cpp.o.d"
+  "CMakeFiles/vabi_stats.dir/least_squares.cpp.o"
+  "CMakeFiles/vabi_stats.dir/least_squares.cpp.o.d"
+  "CMakeFiles/vabi_stats.dir/linear_form.cpp.o"
+  "CMakeFiles/vabi_stats.dir/linear_form.cpp.o.d"
+  "CMakeFiles/vabi_stats.dir/monte_carlo.cpp.o"
+  "CMakeFiles/vabi_stats.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/vabi_stats.dir/normal.cpp.o"
+  "CMakeFiles/vabi_stats.dir/normal.cpp.o.d"
+  "CMakeFiles/vabi_stats.dir/variation_space.cpp.o"
+  "CMakeFiles/vabi_stats.dir/variation_space.cpp.o.d"
+  "libvabi_stats.a"
+  "libvabi_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vabi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvabi_stats.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vabi_timing.dir/buffer_library.cpp.o"
+  "CMakeFiles/vabi_timing.dir/buffer_library.cpp.o.d"
+  "CMakeFiles/vabi_timing.dir/elmore.cpp.o"
+  "CMakeFiles/vabi_timing.dir/elmore.cpp.o.d"
+  "CMakeFiles/vabi_timing.dir/wire_sizing.cpp.o"
+  "CMakeFiles/vabi_timing.dir/wire_sizing.cpp.o.d"
+  "libvabi_timing.a"
+  "libvabi_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vabi_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/benchmarks.cpp" "src/tree/CMakeFiles/vabi_tree.dir/benchmarks.cpp.o" "gcc" "src/tree/CMakeFiles/vabi_tree.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/tree/generators.cpp" "src/tree/CMakeFiles/vabi_tree.dir/generators.cpp.o" "gcc" "src/tree/CMakeFiles/vabi_tree.dir/generators.cpp.o.d"
+  "/root/repo/src/tree/routing_tree.cpp" "src/tree/CMakeFiles/vabi_tree.dir/routing_tree.cpp.o" "gcc" "src/tree/CMakeFiles/vabi_tree.dir/routing_tree.cpp.o.d"
+  "/root/repo/src/tree/tree_io.cpp" "src/tree/CMakeFiles/vabi_tree.dir/tree_io.cpp.o" "gcc" "src/tree/CMakeFiles/vabi_tree.dir/tree_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/vabi_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/vabi_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vabi_tree.dir/benchmarks.cpp.o"
+  "CMakeFiles/vabi_tree.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/vabi_tree.dir/generators.cpp.o"
+  "CMakeFiles/vabi_tree.dir/generators.cpp.o.d"
+  "CMakeFiles/vabi_tree.dir/routing_tree.cpp.o"
+  "CMakeFiles/vabi_tree.dir/routing_tree.cpp.o.d"
+  "CMakeFiles/vabi_tree.dir/tree_io.cpp.o"
+  "CMakeFiles/vabi_tree.dir/tree_io.cpp.o.d"
+  "libvabi_tree.a"
+  "libvabi_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vabi_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

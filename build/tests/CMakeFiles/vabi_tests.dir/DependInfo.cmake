@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/buffered_tree_model_test.cpp" "tests/CMakeFiles/vabi_tests.dir/analysis/buffered_tree_model_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/analysis/buffered_tree_model_test.cpp.o.d"
+  "/root/repo/tests/analysis/clock_skew_test.cpp" "tests/CMakeFiles/vabi_tests.dir/analysis/clock_skew_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/analysis/clock_skew_test.cpp.o.d"
+  "/root/repo/tests/analysis/validation_test.cpp" "tests/CMakeFiles/vabi_tests.dir/analysis/validation_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/analysis/validation_test.cpp.o.d"
+  "/root/repo/tests/analysis/variance_breakdown_test.cpp" "tests/CMakeFiles/vabi_tests.dir/analysis/variance_breakdown_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/analysis/variance_breakdown_test.cpp.o.d"
+  "/root/repo/tests/analysis/yield_test.cpp" "tests/CMakeFiles/vabi_tests.dir/analysis/yield_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/analysis/yield_test.cpp.o.d"
+  "/root/repo/tests/core/backtrace_test.cpp" "tests/CMakeFiles/vabi_tests.dir/core/backtrace_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/core/backtrace_test.cpp.o.d"
+  "/root/repo/tests/core/cost_bounded_test.cpp" "tests/CMakeFiles/vabi_tests.dir/core/cost_bounded_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/core/cost_bounded_test.cpp.o.d"
+  "/root/repo/tests/core/equivalence_test.cpp" "tests/CMakeFiles/vabi_tests.dir/core/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/core/equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/four_param_test.cpp" "tests/CMakeFiles/vabi_tests.dir/core/four_param_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/core/four_param_test.cpp.o.d"
+  "/root/repo/tests/core/ordering_property_test.cpp" "tests/CMakeFiles/vabi_tests.dir/core/ordering_property_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/core/ordering_property_test.cpp.o.d"
+  "/root/repo/tests/core/pruning_test.cpp" "tests/CMakeFiles/vabi_tests.dir/core/pruning_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/core/pruning_test.cpp.o.d"
+  "/root/repo/tests/core/statistical_dp_test.cpp" "tests/CMakeFiles/vabi_tests.dir/core/statistical_dp_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/core/statistical_dp_test.cpp.o.d"
+  "/root/repo/tests/core/van_ginneken_test.cpp" "tests/CMakeFiles/vabi_tests.dir/core/van_ginneken_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/core/van_ginneken_test.cpp.o.d"
+  "/root/repo/tests/core/wire_sizing_dp_test.cpp" "tests/CMakeFiles/vabi_tests.dir/core/wire_sizing_dp_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/core/wire_sizing_dp_test.cpp.o.d"
+  "/root/repo/tests/device/characterize_test.cpp" "tests/CMakeFiles/vabi_tests.dir/device/characterize_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/device/characterize_test.cpp.o.d"
+  "/root/repo/tests/device/transistor_model_test.cpp" "tests/CMakeFiles/vabi_tests.dir/device/transistor_model_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/device/transistor_model_test.cpp.o.d"
+  "/root/repo/tests/integration/determinism_test.cpp" "tests/CMakeFiles/vabi_tests.dir/integration/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/integration/determinism_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/vabi_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/layout/geometry_test.cpp" "tests/CMakeFiles/vabi_tests.dir/layout/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/layout/geometry_test.cpp.o.d"
+  "/root/repo/tests/layout/grid_test.cpp" "tests/CMakeFiles/vabi_tests.dir/layout/grid_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/layout/grid_test.cpp.o.d"
+  "/root/repo/tests/layout/process_model_test.cpp" "tests/CMakeFiles/vabi_tests.dir/layout/process_model_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/layout/process_model_test.cpp.o.d"
+  "/root/repo/tests/layout/spatial_model_test.cpp" "tests/CMakeFiles/vabi_tests.dir/layout/spatial_model_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/layout/spatial_model_test.cpp.o.d"
+  "/root/repo/tests/stats/empirical_test.cpp" "tests/CMakeFiles/vabi_tests.dir/stats/empirical_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/stats/empirical_test.cpp.o.d"
+  "/root/repo/tests/stats/least_squares_test.cpp" "tests/CMakeFiles/vabi_tests.dir/stats/least_squares_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/stats/least_squares_test.cpp.o.d"
+  "/root/repo/tests/stats/linear_form_test.cpp" "tests/CMakeFiles/vabi_tests.dir/stats/linear_form_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/stats/linear_form_test.cpp.o.d"
+  "/root/repo/tests/stats/monte_carlo_test.cpp" "tests/CMakeFiles/vabi_tests.dir/stats/monte_carlo_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/stats/monte_carlo_test.cpp.o.d"
+  "/root/repo/tests/stats/normal_test.cpp" "tests/CMakeFiles/vabi_tests.dir/stats/normal_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/stats/normal_test.cpp.o.d"
+  "/root/repo/tests/stats/statistical_min_test.cpp" "tests/CMakeFiles/vabi_tests.dir/stats/statistical_min_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/stats/statistical_min_test.cpp.o.d"
+  "/root/repo/tests/stats/variation_space_test.cpp" "tests/CMakeFiles/vabi_tests.dir/stats/variation_space_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/stats/variation_space_test.cpp.o.d"
+  "/root/repo/tests/timing/buffer_library_test.cpp" "tests/CMakeFiles/vabi_tests.dir/timing/buffer_library_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/timing/buffer_library_test.cpp.o.d"
+  "/root/repo/tests/timing/elmore_test.cpp" "tests/CMakeFiles/vabi_tests.dir/timing/elmore_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/timing/elmore_test.cpp.o.d"
+  "/root/repo/tests/timing/wire_model_test.cpp" "tests/CMakeFiles/vabi_tests.dir/timing/wire_model_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/timing/wire_model_test.cpp.o.d"
+  "/root/repo/tests/timing/wire_sizing_test.cpp" "tests/CMakeFiles/vabi_tests.dir/timing/wire_sizing_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/timing/wire_sizing_test.cpp.o.d"
+  "/root/repo/tests/tree/benchmarks_test.cpp" "tests/CMakeFiles/vabi_tests.dir/tree/benchmarks_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/tree/benchmarks_test.cpp.o.d"
+  "/root/repo/tests/tree/generators_test.cpp" "tests/CMakeFiles/vabi_tests.dir/tree/generators_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/tree/generators_test.cpp.o.d"
+  "/root/repo/tests/tree/routing_tree_test.cpp" "tests/CMakeFiles/vabi_tests.dir/tree/routing_tree_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/tree/routing_tree_test.cpp.o.d"
+  "/root/repo/tests/tree/tree_io_test.cpp" "tests/CMakeFiles/vabi_tests.dir/tree/tree_io_test.cpp.o" "gcc" "tests/CMakeFiles/vabi_tests.dir/tree/tree_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/vabi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vabi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/vabi_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/vabi_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/vabi_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/vabi_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vabi_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
