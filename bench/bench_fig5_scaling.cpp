@@ -4,15 +4,24 @@
 // the end-to-end runtime scales roughly linearly in the number of sinks. We
 // sweep generated nets and report seconds per net plus the least-squares
 // exponent of runtime ~ sinks^k (k near 1, far below the 4P blow-up).
+//
+// A second section measures multi-net batch throughput on the parallel batch
+// solver: run it once with `--threads 1` and once with `--threads 8` to see
+// the wall-clock scaling on a realistic many-nets workload (the jobs are
+// generated from fixed per-job seeds, so every thread count solves the
+// identical batch).
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vabi;
   bench::experiment_config cfg;
+  const std::size_t threads = bench::parse_threads(argc, argv);
 
   std::vector<std::size_t> sizes{100, 200, 400, 800, 1600, 3200};
   if (bench::full_mode()) {
@@ -55,5 +64,40 @@ int main() {
   const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
   std::cout << "runtime ~ sinks^" << analysis::fmt(slope, 2)
             << "  (paper: roughly linear scaling, Fig. 5)\n";
+
+  // -- Batch throughput on the parallel solver ------------------------------
+  const std::size_t num_jobs = bench::full_mode() ? 128 : 48;
+  const std::size_t job_sinks = bench::full_mode() ? 800 : 400;
+  std::vector<core::batch_job> jobs(num_jobs);
+  for (auto& j : jobs) {
+    tree::random_tree_options g;
+    g.num_sinks = job_sinks;
+    g.criticality_balance = 0.5;
+    j.generate = g;  // seed comes from the solver's batch_seed stream
+    j.options = bench::make_stat_options(cfg, core::pruning_kind::two_param);
+    j.model = bench::make_model_config(cfg, layout::wid_mode(),
+                                       layout::spatial_profile::heterogeneous);
+  }
+
+  core::batch_solver::config solver_cfg;
+  solver_cfg.num_threads = threads;
+  solver_cfg.batch_seed = 7;
+  core::batch_solver solver{solver_cfg};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = solver.solve(jobs);
+  const double batch_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::size_t total_buffers = 0;
+  for (const auto& r : results) total_buffers += r.result.num_buffers;
+  std::cout << "\n=== Batch throughput: " << num_jobs << " nets x "
+            << job_sinks << " sinks, 2P (WID model) ===\n"
+            << "threads " << threads << ": " << analysis::fmt(batch_seconds, 2)
+            << " s total, "
+            << analysis::fmt(static_cast<double>(num_jobs) / batch_seconds, 1)
+            << " nets/s (" << total_buffers << " buffers inserted)\n"
+            << "(rerun with --threads N to compare wall-clock scaling)\n";
   return 0;
 }

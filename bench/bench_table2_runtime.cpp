@@ -7,16 +7,24 @@
 // of the paper's 2 GB / 4 hour limits, scaled down so the bench terminates
 // quickly; set VABI_FULL=1 for the paper-scale run (all benchmarks, larger
 // 4P budget).
+//
+// All (net, rule) jobs are independent, so they run through the batch solver
+// (`--threads N`); results are deterministic and printed in table order
+// regardless of the thread count.
 #include <iostream>
+#include <vector>
 
+#include "core/parallel.hpp"
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vabi;
   bench::experiment_config cfg;
   const auto profile = layout::spatial_profile::heterogeneous;
+  const std::size_t threads = bench::parse_threads(argc, argv);
 
-  std::cout << "=== Table 2: Runtime comparison (seconds) ===\n";
+  std::cout << "=== Table 2: Runtime comparison (seconds, " << threads
+            << (threads == 1 ? " thread" : " threads") << ") ===\n";
   analysis::text_table t{
       {"Bench", "4P (s)", "2P (s)", "Speedup", "4P peak list", "2P peak list"}};
 
@@ -26,7 +34,8 @@ int main() {
   std::vector<tree::benchmark_spec> specs;
   for (const std::size_t sinks : {16u, 32u, 64u}) {
     tree::benchmark_spec s;
-    s.name = "s" + std::to_string(sinks);
+    s.name = "s";
+    s.name += std::to_string(sinks);
     s.sinks = sinks;
     s.die_side_um = 3000.0;
     s.seed = 500 + sinks;
@@ -34,23 +43,41 @@ int main() {
   }
   for (const auto& spec : bench::suite()) specs.push_back(spec);
 
-  for (const auto& spec : specs) {
-    const auto net = tree::build_benchmark(spec);
+  std::vector<tree::routing_tree> nets;
+  nets.reserve(specs.size());
+  for (const auto& spec : specs) nets.push_back(tree::build_benchmark(spec));
 
-    // 2P: no caps needed; it is the linear-complexity contribution.
-    const auto r2 = bench::optimize(net, spec, cfg, layout::wid_mode(), profile,
-                                    core::pruning_kind::two_param);
+  // 4P: capped; on everything beyond the smallest nets it aborts, which is
+  // the paper's "-" entries (memory / time limit exceeded). 2P needs no caps;
+  // it is the linear-complexity contribution.
+  core::stat_options caps;
+  caps.max_candidates = bench::full_mode() ? 50'000'000 : 3'000'000;
+  caps.max_list_size = 200'000;
+  caps.max_wall_seconds = bench::full_mode() ? 600.0 : 30.0;
 
-    // 4P: capped; on everything beyond the smallest nets it aborts, which is
-    // the paper's "-" entries (memory / time limit exceeded).
-    core::stat_options caps;
-    caps.max_candidates = bench::full_mode() ? 50'000'000 : 3'000'000;
-    caps.max_list_size = 200'000;
-    caps.max_wall_seconds = bench::full_mode() ? 600.0 : 30.0;
-    const auto r4 =
-        bench::optimize(net, spec, cfg, layout::wid_mode(), profile,
-                        core::pruning_kind::four_param, &caps);
+  // Jobs 2i / 2i+1 are net i under 4P / 2P.
+  std::vector<core::batch_job> jobs;
+  jobs.reserve(2 * specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    core::batch_job j;
+    j.tree = &nets[i];
+    j.model = bench::make_model_config(cfg, layout::wid_mode(), profile);
+    j.die = layout::square_die(specs[i].die_side_um);
+    j.options =
+        bench::make_stat_options(cfg, core::pruning_kind::four_param, &caps);
+    jobs.push_back(j);
+    j.options = bench::make_stat_options(cfg, core::pruning_kind::two_param);
+    jobs.push_back(j);
+  }
 
+  core::batch_solver::config solver_cfg;
+  solver_cfg.num_threads = threads;
+  core::batch_solver solver{solver_cfg};
+  const auto results = solver.solve(jobs);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& r4 = results[2 * i].result;
+    const auto& r2 = results[2 * i + 1].result;
     const std::string t4 =
         r4.stats.aborted ? "-" : analysis::fmt(r4.stats.wall_seconds, 2);
     const std::string speedup =
@@ -60,7 +87,8 @@ int main() {
                                 std::max(r2.stats.wall_seconds, 1e-9),
                             1) +
                   "x";
-    t.add_row({spec.name, t4, analysis::fmt(r2.stats.wall_seconds, 2), speedup,
+    t.add_row({specs[i].name, t4, analysis::fmt(r2.stats.wall_seconds, 2),
+               speedup,
                r4.stats.aborted
                    ? ("abort: " + r4.stats.abort_reason)
                    : std::to_string(r4.stats.peak_list_size),

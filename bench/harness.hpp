@@ -28,6 +28,23 @@ inline bool full_mode() {
   return v != nullptr && std::string(v) != "0";
 }
 
+/// `--threads N` from a bench command line; falls back to the VABI_THREADS
+/// env var, then to 1 (serial), so the printed tables stay comparable run to
+/// run unless parallelism is asked for explicitly.
+inline std::size_t parse_threads(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      const unsigned long n = std::strtoul(argv[i + 1], nullptr, 10);
+      if (n > 0) return static_cast<std::size_t>(n);
+    }
+  }
+  if (const char* v = std::getenv("VABI_THREADS")) {
+    const unsigned long n = std::strtoul(v, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
 /// The benchmark suite: the 2P engine is fast enough to run all seven nets
 /// of Table 1 by default; VABI_FULL only enlarges the expensive extras
 /// (4P budgets, Monte-Carlo sample counts, Fig. 5 sweep sizes).
@@ -66,15 +83,39 @@ struct experiment_config {
   double yield_percentile = 0.05;
 };
 
-inline layout::process_model make_model(const tree::benchmark_spec& spec,
-                                        const experiment_config& cfg,
-                                        layout::variation_mode mode,
-                                        layout::spatial_profile profile) {
+inline layout::process_model_config make_model_config(
+    const experiment_config& cfg, layout::variation_mode mode,
+    layout::spatial_profile profile) {
   layout::process_model_config c;
   c.mode = mode;
   c.budgets = cfg.budgets;
   c.spatial.profile = profile;
-  return layout::process_model{layout::square_die(spec.die_side_um), c};
+  return c;
+}
+
+inline layout::process_model make_model(const tree::benchmark_spec& spec,
+                                        const experiment_config& cfg,
+                                        layout::variation_mode mode,
+                                        layout::spatial_profile profile) {
+  return layout::process_model{layout::square_die(spec.die_side_um),
+                               make_model_config(cfg, mode, profile)};
+}
+
+/// The stat_options every statistical bench run uses (optionally seeded from
+/// `overrides`, e.g. resource caps). Shared by the direct and the batched
+/// paths so both solve the identical problem.
+inline core::stat_options make_stat_options(
+    const experiment_config& cfg, core::pruning_kind rule,
+    const core::stat_options* overrides = nullptr) {
+  core::stat_options o;
+  if (overrides != nullptr) o = *overrides;
+  o.wire = cfg.wire;
+  o.library = cfg.library;
+  o.driver_res_ohm = cfg.driver_res_ohm;
+  o.rule = rule;
+  o.root_percentile = cfg.yield_percentile;
+  o.selection_percentile = cfg.yield_percentile;
+  return o;
 }
 
 struct mode_run {
@@ -102,14 +143,7 @@ inline mode_run optimize(const tree::routing_tree& net,
     return out;
   }
   auto model = make_model(spec, cfg, mode, profile);
-  core::stat_options o;
-  if (overrides != nullptr) o = *overrides;
-  o.wire = cfg.wire;
-  o.library = cfg.library;
-  o.driver_res_ohm = cfg.driver_res_ohm;
-  o.rule = rule;
-  o.root_percentile = cfg.yield_percentile;
-  o.selection_percentile = cfg.yield_percentile;
+  const core::stat_options o = make_stat_options(cfg, rule, overrides);
   auto r = core::run_statistical_insertion(net, model, o);
   out.assignment = std::move(r.assignment);
   out.stats = std::move(r.stats);

@@ -14,6 +14,8 @@
 //     --emit-assignment PATH    write "node buffer_name [width]" lines
 //     --generate SINKS          ignore NET.tree; generate a random net
 //     --seed N                  seed for --generate (default 1)
+//     --threads N               solve sibling subtrees on N threads
+//                               (default 1 = serial; results are identical)
 //
 // Exit codes: 0 success, 1 usage error, 2 optimization aborted.
 #include <cstring>
@@ -24,6 +26,7 @@
 
 #include "analysis/variance_breakdown.hpp"
 #include "analysis/yield.hpp"
+#include "core/parallel.hpp"
 #include "core/statistical_dp.hpp"
 #include "core/van_ginneken.hpp"
 #include "tree/generators.hpp"
@@ -45,6 +48,7 @@ struct cli_options {
   std::string emit_assignment;
   std::size_t generate_sinks = 0;
   std::uint64_t seed = 1;
+  std::size_t threads = 1;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -54,7 +58,7 @@ struct cli_options {
                "                [--yield-percentile Q] [--driver-res OHM]\n"
                "                [--wire-widths W1,W2,...]\n"
                "                [--emit-assignment PATH]\n"
-               "                [--generate SINKS] [--seed N]\n";
+               "                [--generate SINKS] [--seed N] [--threads N]\n";
   std::exit(1);
 }
 
@@ -124,6 +128,9 @@ cli_options parse(int argc, char** argv) {
       o.generate_sinks = static_cast<std::size_t>(std::stoul(need_value(i)));
     } else if (a == "--seed") {
       o.seed = std::stoull(need_value(i));
+    } else if (a == "--threads") {
+      o.threads = static_cast<std::size_t>(std::stoul(need_value(i)));
+      if (o.threads == 0) usage("--threads must be at least 1");
     } else if (!a.empty() && a[0] == '-') {
       usage(("unknown option " + a).c_str());
     } else if (o.tree_path.empty()) {
@@ -179,7 +186,13 @@ int main(int argc, char** argv) {
     o.max_wall_seconds = 300.0;
   }
 
-  const auto r = core::run_statistical_insertion(net, model, o);
+  const auto r = [&] {
+    if (cli.threads > 1) {
+      core::thread_pool pool{cli.threads};
+      return core::run_parallel_insertion(net, model, o, pool);
+    }
+    return core::run_statistical_insertion(net, model, o);
+  }();
   if (!r.ok()) {
     std::cerr << "optimization aborted: " << r.stats.abort_reason << "\n";
     return 2;

@@ -1,0 +1,434 @@
+// Internal engine of the variation-aware DP (shared by the serial and the
+// parallel drivers -- see statistical_dp.cpp and parallel.cpp).
+//
+// The per-node computation of run_statistical_insertion lives here as
+// dp_worker::solve_node: given the (already solved) candidate lists of a
+// node's children it produces the node's own pruned candidate list. The
+// serial driver calls it in postorder on one thread; the parallel driver
+// schedules one task per node on a work-stealing pool, which is sound
+// because a node's list depends only on its children's lists and the
+// statistical merge is a pure function of the two inputs.
+//
+// Bit-identical parallelism rests on three invariants kept here:
+//   1. child lists are merged in the tree's child order (never in completion
+//      order), so the floating-point operation sequence per node is fixed;
+//   2. device forms come from a device_fn whose source-id allocation order
+//      matches the serial engine's lazy characterization order (see
+//      device_cache in parallel.hpp);
+//   3. all mutable state (decision arena, dp_stats, list recycling) is owned
+//      per worker and only reduced commutatively (sums / maxes) at the join.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/solution.hpp"
+#include "core/statistical_dp.hpp"
+
+namespace vabi::core::detail {
+
+using cand_list = std::vector<stat_candidate>;
+using dp_clock = std::chrono::steady_clock;
+
+/// Per-thread recycler of candidate-list buffers. The DP allocates and drops
+/// a fresh list per wire propagation / merge / consumed child; recycling the
+/// vector storage instead of freeing it kills the malloc churn that
+/// bench_micro_ops shows dominating the small-form operations. Never shared
+/// across threads.
+class list_arena {
+ public:
+  cand_list acquire() {
+    if (free_.empty()) return {};
+    cand_list list = std::move(free_.back());
+    free_.pop_back();
+    list.clear();
+    return list;
+  }
+
+  void release(cand_list&& list) {
+    if (list.capacity() > 0 && free_.size() < max_pooled) {
+      free_.push_back(std::move(list));
+    }
+  }
+
+ private:
+  static constexpr std::size_t max_pooled = 64;
+  std::vector<cand_list> free_;
+};
+
+/// Supplies the characterized device forms for buffering at (node, type).
+/// The serial engine characterizes lazily through the process model; the
+/// parallel engine reads a pre-built device_cache. Either way the function is
+/// called exactly once per (node, type) evaluated.
+using device_fn =
+    std::function<layout::device_variation(tree::node_id, timing::buffer_index)>;
+
+/// Resource-cap state shared by all workers of one parallel run. Counters are
+/// published at node granularity, so cap enforcement is as prompt as the
+/// serial engine's up to one in-flight node per worker. Which node trips a
+/// cap first is scheduling-dependent; aborted runs carry no design, so this
+/// does not weaken the bit-identical guarantee for completed runs.
+struct shared_budget {
+  dp_clock::time_point t_start;
+  std::atomic<std::size_t> candidates{0};
+  std::atomic<bool> aborted{false};
+};
+
+/// One worker of the DP: the key operations (wire propagation, buffering,
+/// statistical merge), pruning dispatch, and the per-node solve. Holds only
+/// references; cheap to construct per task.
+struct dp_worker {
+  const tree::routing_tree& tree;
+  const stats::variation_space& space;
+  const stat_options& options;
+  const timing::wire_menu& menu;
+  device_fn devices;
+  decision_arena& arena;
+  list_arena& pool;
+  dp_stats& dps;
+  /// Per-worker count of candidates already flushed to `shared`. Lives in
+  /// the worker's persistent state (a dp_worker is rebuilt per node task, the
+  /// flush watermark must survive across tasks).
+  std::size_t& published;
+  dp_clock::time_point t_start;      ///< serial wall-cap reference
+  shared_budget* shared = nullptr;   ///< non-null in parallel mode
+
+  // -- resource caps --------------------------------------------------------
+
+  void publish() {
+    if (shared == nullptr) return;
+    shared->candidates.fetch_add(dps.candidates_created - published,
+                                 std::memory_order_relaxed);
+    published = dps.candidates_created;
+    if (dps.aborted) shared->aborted.store(true, std::memory_order_release);
+  }
+
+  bool over_budget(std::size_t list_size) {
+    if (shared != nullptr &&
+        shared->aborted.load(std::memory_order_acquire) && !dps.aborted) {
+      dps.aborted = true;
+      dps.abort_reason = "aborted by another worker";
+      return true;
+    }
+    if (options.max_list_size != 0 && list_size > options.max_list_size) {
+      dps.aborted = true;
+      dps.abort_reason = "candidate list exceeded max_list_size";
+      publish();
+      return true;
+    }
+    if (options.max_candidates != 0) {
+      std::size_t total = dps.candidates_created;
+      if (shared != nullptr) {
+        // Candidates published by every worker, minus our own published share
+        // (already inside dps.candidates_created).
+        total += shared->candidates.load(std::memory_order_relaxed) - published;
+      }
+      if (total > options.max_candidates) {
+        dps.aborted = true;
+        dps.abort_reason = "total candidates exceeded max_candidates";
+        publish();
+        return true;
+      }
+    }
+    if (options.max_wall_seconds > 0.0) {
+      const auto start = shared != nullptr ? shared->t_start : t_start;
+      const double elapsed =
+          std::chrono::duration<double>(dp_clock::now() - start).count();
+      if (elapsed > options.max_wall_seconds) {
+        dps.aborted = true;
+        dps.abort_reason = "wall clock exceeded max_wall_seconds";
+        publish();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // -- key operations -------------------------------------------------------
+
+  /// eqs. 33-34: wires are deterministic, so the nominal shifts and the RAT
+  /// coefficients pick up -r*l*alpha_i via the load form. With a multi-width
+  /// menu each candidate fans out into one variant per width (recorded as a
+  /// wire decision); the caller's prune collapses the dominated ones.
+  void propagate_wire(cand_list& list, tree::node_id child, double um) {
+    if (um == 0.0) return;
+    if (!menu.sizing_enabled()) {
+      const double rl = menu[0].res_per_um * um;
+      const double cl = menu[0].cap_per_um * um;
+      const double half_rcl2 = 0.5 * rl * cl;
+      for (auto& c : list) {
+        c.rat -= rl * c.load;   // -r*l*L_n (both nominal and coefficients)
+        c.rat -= half_rcl2;     // -r*c*l^2/2
+        c.load += cl;
+      }
+      return;
+    }
+    cand_list out = pool.acquire();
+    out.reserve(list.size() * menu.size());
+    for (const auto& c : list) {
+      for (timing::width_index w = 0; w < menu.size(); ++w) {
+        const double rl = menu[w].res_per_um * um;
+        const double cl = menu[w].cap_per_um * um;
+        stat_candidate v;
+        v.rat = c.rat;
+        v.rat -= rl * c.load;
+        v.rat -= 0.5 * rl * cl;
+        v.load = c.load;
+        v.load += cl;
+        v.why = arena.wire_sized(child, w, c.why);
+        out.push_back(std::move(v));
+        ++dps.candidates_created;
+      }
+    }
+    pool.release(std::move(list));
+    list = std::move(out);
+  }
+
+  /// eqs. 35-36 for one candidate and one characterized device.
+  stat_candidate buffered(const stat_candidate& c, tree::node_id node,
+                          timing::buffer_index b,
+                          const layout::device_variation& dv) {
+    stat_candidate out;
+    out.rat = c.rat;
+    out.rat -= dv.delay;                             // -T_b (canonical form)
+    out.rat -= options.library[b].res_ohm * c.load;  // -R_b * L_n
+    out.load = dv.cap;                               // C_b
+    out.why = arena.buffered(node, b, c.why);
+    ++dps.candidates_created;
+    return out;
+  }
+
+  /// eqs. 37-38 for one pair.
+  stat_candidate merged_pair(const stat_candidate& a, const stat_candidate& b) {
+    stat_candidate out;
+    out.load = a.load + b.load;
+    out.rat = stats::statistical_min(a.rat, b.rat, space);
+    out.why = arena.merged(a.why, b.why);
+    ++dps.candidates_created;
+    ++dps.merge_pairs;
+    return out;
+  }
+
+  // -- pruning / sorting dispatch -------------------------------------------
+
+  void prune(cand_list& list) {
+    switch (options.rule) {
+      case pruning_kind::two_param:
+        prune_two_param(options.two_param, list, space, dps);
+        break;
+      case pruning_kind::four_param:
+        // Bound the quadratic prune so resource caps can fire between nodes
+        // instead of being starved by one multi-minute pairwise pass.
+        prune_four_param(options.four_param, list, space, dps,
+                         options.max_list_size == 0
+                             ? 0
+                             : 50 * options.max_list_size);
+        break;
+      case pruning_kind::corner:
+        prune_corner(options.corner, list, space, dps);
+        break;
+    }
+  }
+
+  bool ordered_rule() const { return options.rule != pruning_kind::four_param; }
+
+  /// Linear merge on the rule's scalar RAT key (mean for 2P; the corner
+  /// projection would require re-deriving percentiles per pair, and the mean
+  /// is the consistent total-order key for both ordered rules).
+  cand_list merge_ordered(const cand_list& a, const cand_list& b) {
+    cand_list out = pool.acquire();
+    out.reserve(a.size() + b.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+      out.push_back(merged_pair(a[i], b[j]));
+      const double ta = a[i].rat.mean();
+      const double tb = b[j].rat.mean();
+      if (ta < tb) {
+        ++i;
+      } else if (ta > tb) {
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+    return out;
+  }
+
+  /// Full cross product -- the price of a partial order (Section 2.2).
+  cand_list merge_cross(const cand_list& a, const cand_list& b) {
+    cand_list out = pool.acquire();
+    // Reserving n*m up front can be gigabytes on exploded lists; grow
+    // geometrically instead and let the caps stop the blow-up.
+    out.reserve(std::min(a.size() * b.size(),
+                         a.size() + b.size() + 1024));
+    for (const auto& ca : a) {
+      for (const auto& cb : b) {
+        out.push_back(merged_pair(ca, cb));
+      }
+      if (over_budget(out.size())) break;
+    }
+    return out;
+  }
+
+  cand_list merge_lists(const cand_list& a, const cand_list& b) {
+    return ordered_rule() ? merge_ordered(a, b) : merge_cross(a, b);
+  }
+
+  // -- per-node processing --------------------------------------------------
+
+  /// Scalar figure of merit the active rule uses to pick the single buffered
+  /// candidate per type (all buffered versions share the load form C_b, so
+  /// only the RAT distinguishes them; keeping one per type is the classic
+  /// van Ginneken convention and what keeps every rule's lists from
+  /// multiplying at each position).
+  double rat_selection_key(const stats::linear_form& rat) const {
+    if (options.selection_percentile != 0.5) {
+      return stats::percentile(rat, space, options.selection_percentile);
+    }
+    switch (options.rule) {
+      case pruning_kind::two_param:
+        return rat.mean();  // Lemma 4: P-ordering == mean ordering
+      case pruning_kind::four_param:
+        // The baseline's conservative corner pi_{beta_l} (eq. 3).
+        return stats::percentile(rat, space, options.four_param.beta_lo);
+      case pruning_kind::corner:
+        return stats::percentile(rat, space,
+                                 1.0 - options.corner.percentile);
+    }
+    return rat.mean();
+  }
+
+  void add_buffered_candidates(cand_list& list, tree::node_id id) {
+    const std::size_t base = list.size();
+    if (base == 0) return;
+    for (timing::buffer_index b = 0; b < options.library.size(); ++b) {
+      const auto& type = options.library[b];
+      // One physical device per (node, type): every candidate buffered here
+      // shares the same characterized forms (and random source).
+      const layout::device_variation dv = devices(id, b);
+      if (options.rule == pruning_kind::two_param &&
+          options.two_param.is_mean_rule() &&
+          options.selection_percentile == 0.5) {
+        // Mean-rule fast path: the selection key is linear in means, so the
+        // winner is found without materializing any candidate form.
+        double best_mean = -std::numeric_limits<double>::infinity();
+        std::size_t best_k = base;
+        for (std::size_t k = 0; k < base; ++k) {
+          const double mean = list[k].rat.mean() - dv.delay.mean() -
+                              type.res_ohm * list[k].load.mean();
+          if (mean > best_mean) {
+            best_mean = mean;
+            best_k = k;
+          }
+        }
+        list.push_back(buffered(list[best_k], id, b, dv));
+      } else {
+        // General rules: the key needs each resulting form's sigma, so
+        // materialize candidates one at a time and keep the best.
+        std::optional<stat_candidate> best;
+        double best_key = -std::numeric_limits<double>::infinity();
+        for (std::size_t k = 0; k < base; ++k) {
+          stat_candidate cand = buffered(list[k], id, b, dv);
+          const double key = rat_selection_key(cand.rat);
+          if (key > best_key) {
+            best_key = key;
+            best = std::move(cand);
+          }
+        }
+        if (best.has_value()) list.push_back(std::move(*best));
+      }
+    }
+  }
+
+  /// Computes the candidate list of `id` from its children's lists (which are
+  /// consumed). On a resource-cap abort dps.aborted is set and the returned
+  /// list is meaningless.
+  cand_list solve_node(tree::node_id id, std::span<cand_list> lists) {
+    const auto& n = tree.node(id);
+    cand_list here = pool.acquire();
+    if (n.is_sink()) {
+      here.push_back({stats::linear_form{n.sink_cap_pf},
+                      stats::linear_form{n.sink_rat_ps}, arena.leaf()});
+      ++dps.candidates_created;
+    } else {
+      for (tree::node_id child : n.children) {
+        cand_list up = std::move(lists[child]);
+        lists[child] = cand_list{};
+        propagate_wire(up, child, tree.node(child).parent_wire_um);
+        prune(up);
+        if (here.empty()) {
+          pool.release(std::move(here));
+          here = std::move(up);
+        } else {
+          cand_list merged = merge_lists(here, up);
+          pool.release(std::move(here));
+          pool.release(std::move(up));
+          here = std::move(merged);
+          // Caps must fire *before* the (possibly quadratic) prune touches
+          // an exploded list -- this is what turns the 4P blow-up into the
+          // paper's clean "exceeded memory/time limit" failure.
+          if (over_budget(here.size())) break;
+          prune(here);
+        }
+        if (over_budget(here.size())) break;
+      }
+    }
+    if (dps.aborted) return here;
+    if (!n.is_source()) {
+      add_buffered_candidates(here, id);
+      if (over_budget(here.size())) return here;
+      prune(here);
+    }
+    dps.peak_list_size = std::max(dps.peak_list_size, here.size());
+    over_budget(here.size());
+    publish();
+    return here;
+  }
+
+  /// Picks the winning root candidate and backtracks it into a design.
+  /// Requires a completed (non-aborted) run; throws on an empty root list.
+  stat_result select_root(const cand_list& root_list) {
+    if (root_list.empty()) {
+      throw std::logic_error("run_statistical_insertion: empty root list");
+    }
+    stat_result result;
+    const stat_candidate* best = nullptr;
+    stats::linear_form best_rat;
+    double best_key = -std::numeric_limits<double>::infinity();
+    for (const auto& c : root_list) {
+      stats::linear_form root_rat = c.rat;
+      root_rat -= options.driver_res_ohm * c.load;
+      const double key =
+          stats::percentile(root_rat, space, options.root_percentile);
+      if (key > best_key) {
+        best_key = key;
+        best = &c;
+        best_rat = std::move(root_rat);
+      }
+    }
+    result.root_rat = std::move(best_rat);
+    design_choice design = extract_design(best->why, tree.num_nodes());
+    result.assignment = std::move(design.buffers);
+    result.wires = std::move(design.wires);
+    result.num_buffers = result.assignment.count();
+    return result;
+  }
+};
+
+/// Shared option validation of the serial and parallel entry points.
+void validate_stat_options(const stat_options& options);
+
+/// Builds the width menu implied by the options (single width disables
+/// sizing).
+timing::wire_menu make_wire_menu(const stat_options& options);
+
+}  // namespace vabi::core::detail

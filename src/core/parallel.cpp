@@ -1,0 +1,400 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <latch>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/dp_engine.hpp"
+#include "stats/rng.hpp"
+
+namespace vabi::core {
+
+// ---------------------------------------------------------------------------
+// Work-stealing thread pool.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Which pool (and worker slot) the current thread belongs to.
+thread_local void* tl_pool = nullptr;
+thread_local int tl_worker = -1;
+
+}  // namespace
+
+struct thread_pool::impl {
+  struct worker_queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  // unique_ptr: worker_queue holds a mutex and must not relocate.
+  std::vector<std::unique_ptr<worker_queue>> queues;
+  std::mutex inject_mu;
+  std::deque<std::function<void()>> injected;
+  std::condition_variable cv;
+  /// Tasks submitted but not yet claimed by a worker. Sleepers poll this with
+  /// a short timed wait, so a notify racing a sleeper going down cannot stall
+  /// the pool.
+  std::atomic<std::size_t> ready{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  bool pop_local(int idx, std::function<void()>& task) {
+    auto& q = *queues[idx];
+    std::lock_guard lk(q.mu);
+    if (q.tasks.empty()) return false;
+    task = std::move(q.tasks.back());  // LIFO: depth-first, cache-warm
+    q.tasks.pop_back();
+    return true;
+  }
+
+  bool pop_injected(std::function<void()>& task) {
+    std::lock_guard lk(inject_mu);
+    if (injected.empty()) return false;
+    task = std::move(injected.front());
+    injected.pop_front();
+    return true;
+  }
+
+  bool steal(int idx, std::function<void()>& task) {
+    const std::size_t n = queues.size();
+    for (std::size_t off = 1; off < n; ++off) {
+      auto& q = *queues[(static_cast<std::size_t>(idx) + off) % n];
+      std::lock_guard lk(q.mu);
+      if (q.tasks.empty()) continue;
+      task = std::move(q.tasks.front());  // FIFO: the victim's oldest task
+      q.tasks.pop_front();
+      return true;
+    }
+    return false;
+  }
+
+  void worker_main(int idx) {
+    tl_pool = this;
+    tl_worker = idx;
+    std::function<void()> task;
+    for (;;) {
+      if (pop_local(idx, task) || pop_injected(task) || steal(idx, task)) {
+        ready.fetch_sub(1, std::memory_order_relaxed);
+        task();
+        task = nullptr;
+        continue;
+      }
+      std::unique_lock lk(inject_mu);
+      if (stop.load(std::memory_order_relaxed) &&
+          ready.load(std::memory_order_relaxed) == 0) {
+        return;
+      }
+      cv.wait_for(lk, std::chrono::milliseconds(1), [&] {
+        return stop.load(std::memory_order_relaxed) ||
+               ready.load(std::memory_order_relaxed) > 0;
+      });
+    }
+  }
+};
+
+thread_pool::thread_pool(std::size_t num_threads) : impl_(new impl) {
+  const std::size_t n =
+      num_threads == 0 ? default_thread_count() : num_threads;
+  impl_->queues.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    impl_->queues.push_back(std::make_unique<impl::worker_queue>());
+  }
+  impl_->threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    impl_->threads.emplace_back(
+        [im = impl_.get(), i] { im->worker_main(static_cast<int>(i)); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  impl_->stop.store(true, std::memory_order_relaxed);
+  impl_->cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+}
+
+std::size_t thread_pool::size() const { return impl_->queues.size(); }
+
+void thread_pool::submit(std::function<void()> task) {
+  impl* im = impl_.get();
+  if (tl_pool == im && tl_worker >= 0) {
+    auto& q = *im->queues[tl_worker];
+    std::lock_guard lk(q.mu);
+    q.tasks.push_back(std::move(task));
+  } else {
+    std::lock_guard lk(im->inject_mu);
+    im->injected.push_back(std::move(task));
+  }
+  im->ready.fetch_add(1, std::memory_order_relaxed);
+  im->cv.notify_one();
+}
+
+int thread_pool::current_worker() noexcept {
+  return tl_pool != nullptr ? tl_worker : -1;
+}
+
+std::size_t thread_pool::default_thread_count() {
+  if (const char* v = std::getenv("VABI_THREADS")) {
+    const unsigned long n = std::strtoul(v, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+// ---------------------------------------------------------------------------
+// Intra-tree parallel DP.
+// ---------------------------------------------------------------------------
+
+device_cache::device_cache(const tree::routing_tree& tree,
+                           layout::process_model& model,
+                           const timing::buffer_library& library)
+    : lib_size_(library.size()) {
+  devices_.resize(tree.num_nodes() * lib_size_);
+  // Postorder, skipping the source: exactly the order in which the serial
+  // engine's add_buffered_candidates lazily characterizes, so the model
+  // registers the same private random sources with the same ids.
+  for (tree::node_id id : tree.postorder()) {
+    const auto& n = tree.node(id);
+    if (n.is_source()) continue;
+    for (timing::buffer_index b = 0; b < lib_size_; ++b) {
+      const auto& type = library[b];
+      devices_[static_cast<std::size_t>(id) * lib_size_ + b] =
+          model.characterize(n.location, type.cap_pf, type.delay_ps);
+    }
+  }
+}
+
+namespace {
+
+struct parallel_run {
+  struct worker_state {
+    decision_arena arena;
+    detail::list_arena lists;
+    dp_stats dps;
+    std::size_t published = 0;
+  };
+
+  const tree::routing_tree& tree;
+  const stat_options& options;
+  const stats::variation_space& space;
+  const timing::wire_menu& menu;
+  const device_cache& cache;
+  thread_pool& pool;
+
+  std::vector<worker_state> states;
+  std::vector<detail::cand_list> lists;
+  std::vector<std::atomic<std::uint32_t>> pending;
+  detail::shared_budget budget;
+  std::latch done{1};
+
+  stat_result root_result;
+  bool root_ok = false;
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  parallel_run(const tree::routing_tree& t, const stat_options& o,
+               const stats::variation_space& sp, const timing::wire_menu& m,
+               const device_cache& c, thread_pool& p)
+      : tree(t),
+        options(o),
+        space(sp),
+        menu(m),
+        cache(c),
+        pool(p),
+        states(p.size()),
+        lists(t.num_nodes()),
+        pending(t.num_nodes()) {
+    for (tree::node_id id = 0; id < tree.num_nodes(); ++id) {
+      pending[id].store(
+          static_cast<std::uint32_t>(tree.node(id).children.size()),
+          std::memory_order_relaxed);
+    }
+    budget.t_start = detail::dp_clock::now();
+  }
+
+  detail::dp_worker make_worker(worker_state& st) {
+    return detail::dp_worker{
+        tree,
+        space,
+        options,
+        menu,
+        [this](tree::node_id id, timing::buffer_index b) {
+          return cache.get(id, b);
+        },
+        st.arena,
+        st.lists,
+        st.dps,
+        st.published,
+        {},
+        &budget};
+  }
+
+  void fail(std::exception_ptr e) {
+    std::lock_guard lk(error_mu);
+    if (!error) error = std::move(e);
+    budget.aborted.store(true, std::memory_order_release);
+  }
+
+  /// One task: solve node `id`, then release whichever of {parent task, the
+  /// joining caller} is now unblocked. The pending counter's acq_rel RMW is
+  /// the happens-before edge that makes every child's list (and any abort
+  /// flag it set) visible to the parent's task.
+  void run_node(tree::node_id id) {
+    const int w = thread_pool::current_worker();
+    try {
+      if (!budget.aborted.load(std::memory_order_acquire)) {
+        detail::dp_worker worker = make_worker(states[w]);
+        detail::cand_list here = worker.solve_node(id, lists);
+        if (!states[w].dps.aborted) {
+          lists[id] = std::move(here);
+        } else {
+          worker.publish();
+        }
+      }
+      if (tree.node(id).is_source() &&
+          !budget.aborted.load(std::memory_order_acquire)) {
+        // The root task transitively depends on every node, so at this point
+        // all lists are visible and final.
+        detail::dp_worker worker = make_worker(states[w]);
+        root_result = worker.select_root(lists[id]);
+        root_ok = true;
+      }
+    } catch (...) {
+      fail(std::current_exception());
+    }
+    const auto& n = tree.node(id);
+    if (n.is_source()) {
+      // Last action of the whole DAG: after this the joining thread may
+      // tear the run down, so nothing below may touch *this.
+      done.count_down();
+    } else if (pending[n.parent].fetch_sub(1, std::memory_order_acq_rel) ==
+               1) {
+      const tree::node_id parent = n.parent;
+      pool.submit([this, parent] { run_node(parent); });
+    }
+  }
+
+  stat_result run() {
+    // Seed the DAG with the structural leaves only. Testing the live pending
+    // counters here instead would race the cascade: a worker can drain a
+    // parent's counter to zero (and submit it) while this loop is still
+    // walking, and a second submission of the same node corrupts the run.
+    for (tree::node_id id : tree.postorder()) {
+      if (tree.node(id).children.empty()) {
+        pool.submit([this, id] { run_node(id); });
+      }
+    }
+    done.wait();
+    if (error) std::rethrow_exception(error);
+
+    stat_result result;
+    if (root_ok) result = std::move(root_result);
+
+    dp_stats total;
+    for (const auto& st : states) {
+      total.candidates_created += st.dps.candidates_created;
+      total.candidates_pruned += st.dps.candidates_pruned;
+      total.merge_pairs += st.dps.merge_pairs;
+      total.peak_list_size = std::max(total.peak_list_size,
+                                      st.dps.peak_list_size);
+      if (st.dps.aborted && (!total.aborted ||
+                             total.abort_reason == "aborted by another worker")) {
+        total.aborted = true;
+        total.abort_reason = st.dps.abort_reason;
+      }
+    }
+    if (total.aborted) {
+      result = stat_result{};
+      result.assignment = timing::buffer_assignment(tree.num_nodes());
+    }
+    total.wall_seconds =
+        std::chrono::duration<double>(detail::dp_clock::now() - budget.t_start)
+            .count();
+    result.stats = std::move(total);
+    return result;
+  }
+};
+
+}  // namespace
+
+stat_result run_parallel_insertion(const tree::routing_tree& tree,
+                                   layout::process_model& model,
+                                   const stat_options& options,
+                                   thread_pool& pool) {
+  detail::validate_stat_options(options);
+  const timing::wire_menu menu = detail::make_wire_menu(options);
+  const device_cache cache(tree, model, options.library);
+  parallel_run run{tree, options, model.space(), menu, cache, pool};
+  return run.run();
+}
+
+// ---------------------------------------------------------------------------
+// Batch solver.
+// ---------------------------------------------------------------------------
+
+batch_solver::batch_solver(config cfg)
+    : config_(cfg),
+      pool_(cfg.num_threads == 0 ? thread_pool::default_thread_count()
+                                 : cfg.num_threads) {}
+
+std::size_t batch_solver::num_threads() const { return pool_.size(); }
+
+std::vector<batch_result> batch_solver::solve(
+    const std::vector<batch_job>& jobs) {
+  std::vector<std::optional<batch_result>> slots(jobs.size());
+  std::latch done{static_cast<std::ptrdiff_t>(jobs.size())};
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool_.submit([&, i] {
+      try {
+        const batch_job& job = jobs[i];
+        std::optional<tree::routing_tree> generated;
+        const tree::routing_tree* net = job.tree;
+        if (net == nullptr) {
+          if (!job.generate.has_value()) {
+            throw std::invalid_argument(
+                "batch_job: neither tree nor generate is set");
+          }
+          tree::random_tree_options g = *job.generate;
+          if (config_.batch_seed.has_value()) {
+            g.seed = stats::derive_seed(*config_.batch_seed, i);
+          }
+          generated.emplace(tree::make_random_tree(g));
+          net = &*generated;
+        }
+        layout::bbox die = job.die;
+        if (die.width() <= 0.0 || die.height() <= 0.0) {
+          die = net->bounding_box();
+          die.expand({die.lo.x - 1.0, die.lo.y - 1.0});
+          die.expand({die.hi.x + 1.0, die.hi.y + 1.0});
+        }
+        layout::process_model model{die, job.model};
+        stat_result r = run_statistical_insertion(*net, model, job.options);
+        slots[i].emplace(batch_result{std::move(r), std::move(model),
+                                      std::move(generated)});
+      } catch (...) {
+        std::lock_guard lk(error_mu);
+        if (!error) error = std::current_exception();
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+  if (error) std::rethrow_exception(error);
+
+  std::vector<batch_result> out;
+  out.reserve(jobs.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace vabi::core

@@ -1,0 +1,174 @@
+// Parallel execution engine: a work-stealing thread pool, a batch solver
+// that fans independent nets across threads, and an intra-tree parallel
+// driver of the variation-aware DP.
+//
+// Buffer insertion in a real flow runs over thousands of nets per design
+// (Li & Shi; PAPERS.md), which makes multi-net batching the dominant axis of
+// parallelism: every job is independent, so throughput scales with cores.
+// Inside one large tree there is a second axis: sibling subtrees are
+// independent sub-problems joined only at the statistical merge, which is a
+// pure function of the two child candidate lists. run_parallel_insertion
+// schedules one task per tree node (a node runs when all of its children
+// have finished) on the same pool.
+//
+// Determinism contract: for runs that complete (no resource-cap abort), the
+// parallel drivers produce *bit-identical* results to
+// run_statistical_insertion -- same canonical root RAT form, same buffer and
+// wire assignments, same dp_stats counters -- for any thread count. This
+// holds because (a) child lists are merged in tree child order, never
+// completion order; (b) device forms are pre-characterized in the serial
+// engine's exact lazy order (device_cache), so variation-source ids match;
+// (c) per-worker state reduces commutatively. tests/core/parallel_dp_test.cpp
+// asserts this for the 2P / 4P / corner rules across 1, 2 and 8 threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/statistical_dp.hpp"
+#include "layout/process_model.hpp"
+#include "tree/generators.hpp"
+#include "tree/routing_tree.hpp"
+
+namespace vabi::core {
+
+// ---------------------------------------------------------------------------
+// Work-stealing thread pool.
+// ---------------------------------------------------------------------------
+
+/// Fixed-size pool of workers, each with its own task deque. A worker pops
+/// its own deque LIFO (cache-warm, depth-first on task DAGs) and steals FIFO
+/// from victims when empty (oldest tasks first -- the big untouched
+/// subtrees). External submissions land on a shared injection queue.
+///
+/// The pool has no shutdown barrier of its own: callers that need to join a
+/// wave of tasks block on a std::latch counted down by the tasks (see
+/// parallel.cpp). All tasks must have finished before the pool is destroyed.
+class thread_pool {
+ public:
+  /// `num_threads == 0` picks default_thread_count().
+  explicit thread_pool(std::size_t num_threads = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  std::size_t size() const;
+
+  /// Enqueues a task. Callable from any thread, including from inside a
+  /// running task (the common case for DAG scheduling: a finishing child
+  /// submits its ready parent onto its own deque).
+  void submit(std::function<void()> task);
+
+  /// Index of the calling pool worker in [0, size()), or -1 when called from
+  /// a thread that does not belong to a pool.
+  static int current_worker() noexcept;
+
+  /// VABI_THREADS env var if set, otherwise std::thread::hardware_concurrency
+  /// (at least 1).
+  static std::size_t default_thread_count();
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Intra-tree parallel DP.
+// ---------------------------------------------------------------------------
+
+/// Pre-characterized device forms for every (node, buffer type) pair of one
+/// tree. Building the cache walks the tree in postorder and characterizes in
+/// exactly the order the serial engine's lazy calls would, so the variation
+/// sources registered in the model's space carry identical ids and sigmas --
+/// the keystone of the bit-identical guarantee. After construction the cache
+/// is immutable and safe to read from any thread.
+class device_cache {
+ public:
+  device_cache(const tree::routing_tree& tree, layout::process_model& model,
+               const timing::buffer_library& library);
+
+  const layout::device_variation& get(tree::node_id id,
+                                      timing::buffer_index b) const {
+    return devices_[static_cast<std::size_t>(id) * lib_size_ + b];
+  }
+
+ private:
+  std::size_t lib_size_;
+  std::vector<layout::device_variation> devices_;
+};
+
+/// Variation-aware insertion on one tree with sibling subtrees solved
+/// concurrently on `pool`. Same contract as run_statistical_insertion, and
+/// bit-identical to it for completed runs (see the determinism contract
+/// above). Resource caps are honored, but *which* node trips a cap first is
+/// scheduling-dependent, so aborted runs may differ from serial in their
+/// abort_reason and partial counters.
+stat_result run_parallel_insertion(const tree::routing_tree& tree,
+                                   layout::process_model& model,
+                                   const stat_options& options,
+                                   thread_pool& pool);
+
+// ---------------------------------------------------------------------------
+// Batch solver.
+// ---------------------------------------------------------------------------
+
+/// One net-optimization job of a batch. The net is either borrowed (`tree`)
+/// or generated on a worker thread from `generate` when `tree` is null --
+/// generation draws from a per-job deterministic RNG stream, so a batch is
+/// reproducible regardless of thread count or scheduling.
+struct batch_job {
+  const tree::routing_tree* tree = nullptr;
+  std::optional<tree::random_tree_options> generate;
+
+  stat_options options;
+  layout::process_model_config model;
+  /// Die of the process model. Width 0 (the default) derives the die from
+  /// the net's bounding box padded by 1 um, like examples/vabi_cli.cpp.
+  layout::bbox die;
+};
+
+/// Result of one batch job. The model owns the variation space the result's
+/// canonical forms refer to (needed for sigma / yield evaluation).
+struct batch_result {
+  stat_result result;
+  layout::process_model model;
+  /// The generated net, when the job asked for generation.
+  std::optional<tree::routing_tree> generated;
+};
+
+/// Fans a vector of independent jobs across a work-stealing pool: multi-net
+/// throughput, the paper's thousands-of-nets-per-design regime. Job i's
+/// result lands in slot i; each job gets its own process model (and hence
+/// its own variation space), so results are identical to solving each job
+/// alone with run_statistical_insertion.
+class batch_solver {
+ public:
+  struct config {
+    /// 0 picks thread_pool::default_thread_count().
+    std::size_t num_threads = 0;
+    /// When set, job i's generator seed is re-derived as
+    /// stats::derive_seed(*batch_seed, i): one master seed reproducibly
+    /// fans out into independent per-job streams.
+    std::optional<std::uint64_t> batch_seed;
+  };
+
+  batch_solver() : batch_solver(config{}) {}
+  explicit batch_solver(config cfg);
+
+  /// Solves all jobs; blocks until the batch completes. Throws (after the
+  /// batch drains) if any job threw, with the first error's message.
+  std::vector<batch_result> solve(const std::vector<batch_job>& jobs);
+
+  std::size_t num_threads() const;
+  thread_pool& pool() { return pool_; }
+
+ private:
+  config config_;
+  thread_pool pool_;
+};
+
+}  // namespace vabi::core

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <optional>
 #include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include "core/dp_engine.hpp"
 #include "stats/normal.hpp"
 
 namespace vabi::core {
@@ -23,330 +25,9 @@ const char* to_string(pruning_kind kind) {
   return "?";
 }
 
-namespace {
+namespace detail {
 
-using cand_list = std::vector<stat_candidate>;
-using clock = std::chrono::steady_clock;
-
-struct engine {
-  const tree::routing_tree& tree;
-  layout::process_model& model;
-  const stat_options& options;
-  const timing::wire_menu menu;
-  decision_arena arena;
-  dp_stats dps;
-  clock::time_point t_start;
-
-  const stats::variation_space& space() const { return model.space(); }
-
-  // -- resource caps ------------------------------------------------------
-
-  bool over_budget(std::size_t list_size) {
-    if (options.max_list_size != 0 && list_size > options.max_list_size) {
-      dps.aborted = true;
-      dps.abort_reason = "candidate list exceeded max_list_size";
-      return true;
-    }
-    if (options.max_candidates != 0 &&
-        dps.candidates_created > options.max_candidates) {
-      dps.aborted = true;
-      dps.abort_reason = "total candidates exceeded max_candidates";
-      return true;
-    }
-    if (options.max_wall_seconds > 0.0) {
-      const double elapsed =
-          std::chrono::duration<double>(clock::now() - t_start).count();
-      if (elapsed > options.max_wall_seconds) {
-        dps.aborted = true;
-        dps.abort_reason = "wall clock exceeded max_wall_seconds";
-        return true;
-      }
-    }
-    return false;
-  }
-
-  // -- key operations ------------------------------------------------------
-
-  /// eqs. 33-34: wires are deterministic, so the nominal shifts and the RAT
-  /// coefficients pick up -r*l*alpha_i via the load form. With a multi-width
-  /// menu each candidate fans out into one variant per width (recorded as a
-  /// wire decision); the caller's prune collapses the dominated ones.
-  void propagate_wire(cand_list& list, tree::node_id child, double um) {
-    if (um == 0.0) return;
-    if (!menu.sizing_enabled()) {
-      const double rl = menu[0].res_per_um * um;
-      const double cl = menu[0].cap_per_um * um;
-      const double half_rcl2 = 0.5 * rl * cl;
-      for (auto& c : list) {
-        c.rat -= rl * c.load;   // -r*l*L_n (both nominal and coefficients)
-        c.rat -= half_rcl2;     // -r*c*l^2/2
-        c.load += cl;
-      }
-      return;
-    }
-    cand_list out;
-    out.reserve(list.size() * menu.size());
-    for (const auto& c : list) {
-      for (timing::width_index w = 0; w < menu.size(); ++w) {
-        const double rl = menu[w].res_per_um * um;
-        const double cl = menu[w].cap_per_um * um;
-        stat_candidate v;
-        v.rat = c.rat;
-        v.rat -= rl * c.load;
-        v.rat -= 0.5 * rl * cl;
-        v.load = c.load;
-        v.load += cl;
-        v.why = arena.wire_sized(child, w, c.why);
-        out.push_back(std::move(v));
-        ++dps.candidates_created;
-      }
-    }
-    list = std::move(out);
-  }
-
-  /// eqs. 35-36 for one candidate and one characterized device.
-  stat_candidate buffered(const stat_candidate& c, tree::node_id node,
-                          timing::buffer_index b,
-                          const layout::device_variation& dv) {
-    stat_candidate out;
-    out.rat = c.rat;
-    out.rat -= dv.delay;                             // -T_b (canonical form)
-    out.rat -= options.library[b].res_ohm * c.load;  // -R_b * L_n
-    out.load = dv.cap;                               // C_b
-    out.why = arena.buffered(node, b, c.why);
-    ++dps.candidates_created;
-    return out;
-  }
-
-  /// eqs. 37-38 for one pair.
-  stat_candidate merged_pair(const stat_candidate& a, const stat_candidate& b) {
-    stat_candidate out;
-    out.load = a.load + b.load;
-    out.rat = stats::statistical_min(a.rat, b.rat, space());
-    out.why = arena.merged(a.why, b.why);
-    ++dps.candidates_created;
-    ++dps.merge_pairs;
-    return out;
-  }
-
-  // -- pruning / sorting dispatch ------------------------------------------
-
-  void prune(cand_list& list) {
-    switch (options.rule) {
-      case pruning_kind::two_param:
-        prune_two_param(options.two_param, list, space(), dps);
-        break;
-      case pruning_kind::four_param:
-        // Bound the quadratic prune so resource caps can fire between nodes
-        // instead of being starved by one multi-minute pairwise pass.
-        prune_four_param(options.four_param, list, space(), dps,
-                         options.max_list_size == 0
-                             ? 0
-                             : 50 * options.max_list_size);
-        break;
-      case pruning_kind::corner:
-        prune_corner(options.corner, list, space(), dps);
-        break;
-    }
-  }
-
-  bool ordered_rule() const { return options.rule != pruning_kind::four_param; }
-
-  /// Linear merge on the rule's scalar RAT key (mean for 2P; the corner
-  /// projection would require re-deriving percentiles per pair, and the mean
-  /// is the consistent total-order key for both ordered rules).
-  cand_list merge_ordered(const cand_list& a, const cand_list& b) {
-    cand_list out;
-    out.reserve(a.size() + b.size());
-    std::size_t i = 0;
-    std::size_t j = 0;
-    while (i < a.size() && j < b.size()) {
-      out.push_back(merged_pair(a[i], b[j]));
-      const double ta = a[i].rat.mean();
-      const double tb = b[j].rat.mean();
-      if (ta < tb) {
-        ++i;
-      } else if (ta > tb) {
-        ++j;
-      } else {
-        ++i;
-        ++j;
-      }
-    }
-    return out;
-  }
-
-  /// Full cross product -- the price of a partial order (Section 2.2).
-  cand_list merge_cross(const cand_list& a, const cand_list& b) {
-    cand_list out;
-    // Reserving n*m up front can be gigabytes on exploded lists; grow
-    // geometrically instead and let the caps stop the blow-up.
-    out.reserve(std::min(a.size() * b.size(),
-                         a.size() + b.size() + 1024));
-    for (const auto& ca : a) {
-      for (const auto& cb : b) {
-        out.push_back(merged_pair(ca, cb));
-      }
-      if (over_budget(out.size())) break;
-    }
-    return out;
-  }
-
-  cand_list merge_lists(const cand_list& a, const cand_list& b) {
-    return ordered_rule() ? merge_ordered(a, b) : merge_cross(a, b);
-  }
-
-  // -- per-node processing ---------------------------------------------------
-
-  /// Scalar figure of merit the active rule uses to pick the single buffered
-  /// candidate per type (all buffered versions share the load form C_b, so
-  /// only the RAT distinguishes them; keeping one per type is the classic
-  /// van Ginneken convention and what keeps every rule's lists from
-  /// multiplying at each position).
-  double rat_selection_key(const stats::linear_form& rat) const {
-    if (options.selection_percentile != 0.5) {
-      return stats::percentile(rat, space(), options.selection_percentile);
-    }
-    switch (options.rule) {
-      case pruning_kind::two_param:
-        return rat.mean();  // Lemma 4: P-ordering == mean ordering
-      case pruning_kind::four_param:
-        // The baseline's conservative corner pi_{beta_l} (eq. 3).
-        return stats::percentile(rat, space(), options.four_param.beta_lo);
-      case pruning_kind::corner:
-        return stats::percentile(rat, space(),
-                                 1.0 - options.corner.percentile);
-    }
-    return rat.mean();
-  }
-
-  void add_buffered_candidates(cand_list& list, tree::node_id id) {
-    const std::size_t base = list.size();
-    if (base == 0) return;
-    const auto& loc = tree.node(id).location;
-    for (timing::buffer_index b = 0; b < options.library.size(); ++b) {
-      const auto& type = options.library[b];
-      // One physical device per (node, type): every candidate buffered here
-      // shares the same characterized forms (and random source).
-      const layout::device_variation dv =
-          model.characterize(loc, type.cap_pf, type.delay_ps);
-      if (options.rule == pruning_kind::two_param &&
-          options.two_param.is_mean_rule() &&
-          options.selection_percentile == 0.5) {
-        // Mean-rule fast path: the selection key is linear in means, so the
-        // winner is found without materializing any candidate form.
-        double best_mean = -std::numeric_limits<double>::infinity();
-        std::size_t best_k = base;
-        for (std::size_t k = 0; k < base; ++k) {
-          const double mean = list[k].rat.mean() - dv.delay.mean() -
-                              type.res_ohm * list[k].load.mean();
-          if (mean > best_mean) {
-            best_mean = mean;
-            best_k = k;
-          }
-        }
-        list.push_back(buffered(list[best_k], id, b, dv));
-      } else {
-        // General rules: the key needs each resulting form's sigma, so
-        // materialize candidates one at a time and keep the best.
-        std::optional<stat_candidate> best;
-        double best_key = -std::numeric_limits<double>::infinity();
-        for (std::size_t k = 0; k < base; ++k) {
-          stat_candidate cand = buffered(list[k], id, b, dv);
-          const double key = rat_selection_key(cand.rat);
-          if (key > best_key) {
-            best_key = key;
-            best = std::move(cand);
-          }
-        }
-        if (best.has_value()) list.push_back(std::move(*best));
-      }
-    }
-  }
-
-  stat_result run() {
-    t_start = clock::now();
-    std::vector<cand_list> lists(tree.num_nodes());
-
-    for (tree::node_id id : tree.postorder()) {
-      if (dps.aborted) break;
-      const auto& n = tree.node(id);
-      cand_list here;
-      if (n.is_sink()) {
-        here.push_back({stats::linear_form{n.sink_cap_pf},
-                        stats::linear_form{n.sink_rat_ps}, arena.leaf()});
-        ++dps.candidates_created;
-      } else {
-        for (tree::node_id child : n.children) {
-          cand_list up = std::move(lists[child]);
-          lists[child].clear();
-          lists[child].shrink_to_fit();
-          propagate_wire(up, child, tree.node(child).parent_wire_um);
-          prune(up);
-          if (here.empty()) {
-            here = std::move(up);
-          } else {
-            here = merge_lists(here, up);
-            // Caps must fire *before* the (possibly quadratic) prune touches
-            // an exploded list -- this is what turns the 4P blow-up into the
-            // paper's clean "exceeded memory/time limit" failure.
-            if (over_budget(here.size())) break;
-            prune(here);
-          }
-          if (over_budget(here.size())) break;
-        }
-      }
-      if (dps.aborted) break;
-      if (!n.is_source()) {
-        add_buffered_candidates(here, id);
-        if (over_budget(here.size())) break;
-        prune(here);
-      }
-      dps.peak_list_size = std::max(dps.peak_list_size, here.size());
-      if (over_budget(here.size())) break;
-      lists[id] = std::move(here);
-    }
-
-    stat_result result;
-    if (!dps.aborted) {
-      const cand_list& root_list = lists[tree.root()];
-      if (root_list.empty()) {
-        throw std::logic_error("run_statistical_insertion: empty root list");
-      }
-      const stat_candidate* best = nullptr;
-      stats::linear_form best_rat;
-      double best_key = -std::numeric_limits<double>::infinity();
-      for (const auto& c : root_list) {
-        stats::linear_form root_rat = c.rat;
-        root_rat -= options.driver_res_ohm * c.load;
-        const double key =
-            stats::percentile(root_rat, space(), options.root_percentile);
-        if (key > best_key) {
-          best_key = key;
-          best = &c;
-          best_rat = std::move(root_rat);
-        }
-      }
-      result.root_rat = std::move(best_rat);
-      design_choice design = extract_design(best->why, tree.num_nodes());
-      result.assignment = std::move(design.buffers);
-      result.wires = std::move(design.wires);
-      result.num_buffers = result.assignment.count();
-    } else {
-      result.assignment = timing::buffer_assignment(tree.num_nodes());
-    }
-    dps.wall_seconds =
-        std::chrono::duration<double>(clock::now() - t_start).count();
-    result.stats = dps;
-    return result;
-  }
-};
-
-}  // namespace
-
-stat_result run_statistical_insertion(const tree::routing_tree& tree,
-                                      layout::process_model& model,
-                                      const stat_options& options) {
+void validate_stat_options(const stat_options& options) {
   if (options.library.empty()) {
     throw std::invalid_argument(
         "run_statistical_insertion: empty buffer library");
@@ -361,12 +42,59 @@ stat_result run_statistical_insertion(const tree::routing_tree& tree,
     throw std::invalid_argument(
         "run_statistical_insertion: selection_percentile must be in (0, 1)");
   }
-  const timing::wire_menu menu =
-      options.wire_width_multipliers.size() <= 1
-          ? timing::wire_menu{options.wire}
-          : timing::wire_menu{options.wire, options.wire_width_multipliers};
-  engine e{tree, model, options, menu, {}, {}, {}};
-  return e.run();
+}
+
+timing::wire_menu make_wire_menu(const stat_options& options) {
+  return options.wire_width_multipliers.size() <= 1
+             ? timing::wire_menu{options.wire}
+             : timing::wire_menu{options.wire, options.wire_width_multipliers};
+}
+
+}  // namespace detail
+
+stat_result run_statistical_insertion(const tree::routing_tree& tree,
+                                      layout::process_model& model,
+                                      const stat_options& options) {
+  detail::validate_stat_options(options);
+  const timing::wire_menu menu = detail::make_wire_menu(options);
+
+  // Lazy characterization through the model, one call per (node, type), in
+  // postorder -- the source-id allocation order device_cache reproduces.
+  detail::device_fn devices = [&model, &options, &tree](
+                                  tree::node_id id, timing::buffer_index b) {
+    const auto& type = options.library[b];
+    return model.characterize(tree.node(id).location, type.cap_pf,
+                              type.delay_ps);
+  };
+
+  decision_arena arena;
+  detail::list_arena pool;
+  dp_stats dps;
+  std::size_t published = 0;
+  detail::dp_worker worker{tree, model.space(), options,   menu,
+                           std::move(devices), arena,     pool,
+                           dps,  published,    {},        nullptr};
+  worker.t_start = detail::dp_clock::now();
+
+  std::vector<detail::cand_list> lists(tree.num_nodes());
+  for (tree::node_id id : tree.postorder()) {
+    if (dps.aborted) break;
+    detail::cand_list here = worker.solve_node(id, lists);
+    if (dps.aborted) break;
+    lists[id] = std::move(here);
+  }
+
+  stat_result result;
+  if (!dps.aborted) {
+    result = worker.select_root(lists[tree.root()]);
+  } else {
+    result.assignment = timing::buffer_assignment(tree.num_nodes());
+  }
+  dps.wall_seconds =
+      std::chrono::duration<double>(detail::dp_clock::now() - worker.t_start)
+          .count();
+  result.stats = dps;
+  return result;
 }
 
 }  // namespace vabi::core

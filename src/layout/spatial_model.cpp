@@ -27,8 +27,10 @@ spatial_model::spatial_model(bbox die, const spatial_model_config& config,
   gauss_scale_ = config.range_um / 2.0;
   sources_.reserve(grid_.num_cells());
   for (cell_index c = 0; c < grid_.num_cells(); ++c) {
-    sources_.push_back(space.add_source(stats::source_kind::spatial, 1.0,
-                                        "Y" + std::to_string(c)));
+    std::string label = "Y";
+    label += std::to_string(c);
+    sources_.push_back(
+        space.add_source(stats::source_kind::spatial, 1.0, label));
   }
 }
 

@@ -17,14 +17,21 @@ using rng_engine = std::mt19937_64;
 /// never instantiate an unseeded engine by accident.
 inline rng_engine make_rng(std::uint64_t seed) { return rng_engine{seed}; }
 
-/// Derives an independent stream from (seed, stream) -- used to give each
-/// benchmark / experiment its own reproducible stream.
-inline rng_engine make_rng(std::uint64_t seed, std::uint64_t stream) {
-  // SplitMix64 step decorrelates the pair before seeding.
+/// Mixes (seed, stream) into an independent 64-bit seed via a SplitMix64
+/// step. This is the seed-level counterpart of make_rng(seed, stream): batch
+/// jobs use it to fan one master seed into per-job streams whose identity
+/// does not depend on thread count or scheduling order.
+inline std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
   std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return rng_engine{z ^ (z >> 31)};
+  return z ^ (z >> 31);
+}
+
+/// Derives an independent stream from (seed, stream) -- used to give each
+/// benchmark / experiment its own reproducible stream.
+inline rng_engine make_rng(std::uint64_t seed, std::uint64_t stream) {
+  return rng_engine{derive_seed(seed, stream)};
 }
 
 }  // namespace vabi::stats

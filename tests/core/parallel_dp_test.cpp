@@ -1,0 +1,252 @@
+// Bit-identity of the parallel engine against the serial DP.
+//
+// The contract of core/parallel.hpp: for completed runs, the parallel
+// drivers (intra-tree task DAG and multi-net batch) produce bit-identical
+// results to run_statistical_insertion -- identical canonical root RAT forms
+// (same variation-source ids, same coefficients, compared with operator==,
+// i.e. exact doubles), identical buffer and wire assignments, and identical
+// dp_stats work counters -- for every pruning rule and any thread count.
+// This is what lets callers switch thread counts freely without
+// re-validating results, and it is the test CI runs under ThreadSanitizer.
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <latch>
+#include <vector>
+
+#include "core/statistical_dp.hpp"
+#include "stats/rng.hpp"
+#include "tree/generators.hpp"
+
+namespace vabi::core {
+namespace {
+
+layout::bbox padded_die(const tree::routing_tree& t) {
+  layout::bbox die = t.bounding_box();
+  die.expand({die.lo.x - 1.0, die.lo.y - 1.0});
+  die.expand({die.hi.x + 1.0, die.hi.y + 1.0});
+  return die;
+}
+
+layout::process_model make_model(const tree::routing_tree& t,
+                                 layout::variation_mode mode) {
+  layout::process_model_config c;
+  c.mode = mode;
+  return layout::process_model{padded_die(t), c};
+}
+
+tree::routing_tree make_net(std::size_t sinks, std::uint64_t seed) {
+  tree::random_tree_options o;
+  o.num_sinks = sinks;
+  o.seed = seed;
+  o.criticality_balance = 0.5;
+  return tree::make_random_tree(o);
+}
+
+stat_options rule_options(pruning_kind rule) {
+  stat_options o;
+  o.library = timing::standard_library();
+  o.driver_res_ohm = 150.0;
+  o.rule = rule;
+  o.root_percentile = 0.05;
+  return o;
+}
+
+void expect_identical(const stat_result& a, const stat_result& b) {
+  ASSERT_EQ(a.ok(), b.ok());
+  EXPECT_EQ(a.root_rat, b.root_rat);  // exact canonical forms, same ids
+  EXPECT_EQ(a.num_buffers, b.num_buffers);
+  ASSERT_EQ(a.assignment.num_nodes(), b.assignment.num_nodes());
+  for (std::size_t i = 0; i < a.assignment.num_nodes(); ++i) {
+    const auto id = static_cast<tree::node_id>(i);
+    ASSERT_EQ(a.assignment.has_buffer(id), b.assignment.has_buffer(id));
+    if (a.assignment.has_buffer(id)) {
+      EXPECT_EQ(a.assignment.buffer(id), b.assignment.buffer(id));
+    }
+    EXPECT_EQ(a.wires.width(id), b.wires.width(id));
+  }
+  // The parallel engine does the same work, not just equivalent work.
+  EXPECT_EQ(a.stats.candidates_created, b.stats.candidates_created);
+  EXPECT_EQ(a.stats.candidates_pruned, b.stats.candidates_pruned);
+  EXPECT_EQ(a.stats.merge_pairs, b.stats.merge_pairs);
+  EXPECT_EQ(a.stats.peak_list_size, b.stats.peak_list_size);
+}
+
+void check_rule_across_threads(const tree::routing_tree& net,
+                               const stat_options& options) {
+  auto serial_model = make_model(net, layout::wid_mode());
+  const auto serial = run_statistical_insertion(net, serial_model, options);
+  ASSERT_TRUE(serial.ok()) << serial.stats.abort_reason;
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << threads << " threads");
+    thread_pool pool(threads);
+    auto model = make_model(net, layout::wid_mode());
+    const auto parallel = run_parallel_insertion(net, model, options, pool);
+    expect_identical(serial, parallel);
+    // The variation spaces must have grown identically too (same device
+    // characterization order), or the form comparison above would be
+    // comparing ids from different registries.
+    EXPECT_EQ(model.space().size(), serial_model.space().size());
+  }
+}
+
+TEST(ParallelDp, TwoParamBitIdentical) {
+  check_rule_across_threads(make_net(200, 42),
+                            rule_options(pruning_kind::two_param));
+}
+
+TEST(ParallelDp, TwoParamYieldDrivenSelectionBitIdentical) {
+  auto o = rule_options(pruning_kind::two_param);
+  o.selection_percentile = 0.05;  // the non-mean selection path
+  check_rule_across_threads(make_net(120, 7), o);
+}
+
+TEST(ParallelDp, CornerRuleBitIdentical) {
+  check_rule_across_threads(make_net(150, 11),
+                            rule_options(pruning_kind::corner));
+}
+
+TEST(ParallelDp, FourParamBitIdentical) {
+  // 4P is the quadratic baseline; keep the net small so the cross-product
+  // merge stays in test-suite budget.
+  check_rule_across_threads(make_net(14, 5),
+                            rule_options(pruning_kind::four_param));
+}
+
+TEST(ParallelDp, WireSizingBitIdentical) {
+  auto o = rule_options(pruning_kind::two_param);
+  o.wire_width_multipliers = {0.8, 1.0, 1.3};
+  check_rule_across_threads(make_net(60, 23), o);
+}
+
+TEST(ParallelDp, ResourceCapStillAborts) {
+  const auto net = make_net(64, 3);
+  auto o = rule_options(pruning_kind::four_param);
+  o.max_candidates = 2'000;  // the full run needs ~9'200
+  thread_pool pool(4);
+  auto model = make_model(net, layout::wid_mode());
+  const auto r = run_parallel_insertion(net, model, o, pool);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.stats.abort_reason.empty());
+  EXPECT_EQ(r.num_buffers, 0u);
+}
+
+TEST(BatchSolver, MatchesIndividualSerialRuns) {
+  std::vector<tree::routing_tree> nets;
+  for (std::uint64_t seed : {101, 102, 103, 104, 105, 106}) {
+    nets.push_back(make_net(80, seed));
+  }
+
+  std::vector<batch_job> jobs;
+  for (const auto& net : nets) {
+    batch_job j;
+    j.tree = &net;
+    j.options = rule_options(pruning_kind::two_param);
+    j.model.mode = layout::wid_mode();
+    jobs.push_back(std::move(j));
+  }
+
+  batch_solver::config cfg;
+  cfg.num_threads = 4;
+  batch_solver solver{cfg};
+  const auto results = solver.solve(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "job " << i);
+    layout::process_model model{padded_die(nets[i]), jobs[i].model};
+    const auto serial = run_statistical_insertion(nets[i], model, jobs[i].options);
+    expect_identical(serial, results[i].result);
+    EXPECT_EQ(results[i].model.space().size(), model.space().size());
+  }
+}
+
+TEST(BatchSolver, GeneratedJobsAreThreadCountInvariant) {
+  const auto run_with = [](std::size_t threads) {
+    std::vector<batch_job> jobs(5);
+    for (auto& j : jobs) {
+      tree::random_tree_options g;
+      g.num_sinks = 60;
+      g.criticality_balance = 0.5;
+      j.generate = g;
+      j.options = rule_options(pruning_kind::two_param);
+      j.model.mode = layout::wid_mode();
+    }
+    batch_solver::config cfg;
+    cfg.num_threads = threads;
+    cfg.batch_seed = 99;  // per-job stream = derive_seed(99, i)
+    batch_solver solver{cfg};
+    return solver.solve(jobs);
+  };
+
+  const auto one = run_with(1);
+  const auto four = run_with(4);
+  ASSERT_EQ(one.size(), four.size());
+  bool jobs_differ = false;
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "job " << i);
+    expect_identical(one[i].result, four[i].result);
+    ASSERT_TRUE(one[i].generated.has_value());
+    // Net generation really went through the derived per-job stream.
+    EXPECT_EQ(one[i].generated->num_sinks(), 60u);
+    if (i > 0 && one[i].result.root_rat != one[0].result.root_rat) {
+      jobs_differ = true;
+    }
+  }
+  EXPECT_TRUE(jobs_differ);  // distinct streams => distinct nets
+}
+
+TEST(BatchSolver, PropagatesJobErrors) {
+  batch_job bad;  // neither tree nor generate
+  batch_solver::config cfg;
+  cfg.num_threads = 2;
+  batch_solver solver{cfg};
+  EXPECT_THROW(solver.solve({bad}), std::invalid_argument);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  thread_pool pool(4);
+  constexpr int n = 500;
+  std::atomic<int> count{0};
+  std::latch done{n};
+  for (int i = 0; i < n; ++i) {
+    pool.submit([&] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(count.load(), n);
+}
+
+TEST(ThreadPool, NestedSubmissionFromWorkers) {
+  thread_pool pool(2);
+  constexpr int n = 64;
+  std::atomic<int> count{0};
+  std::latch done{2 * n};
+  for (int i = 0; i < n; ++i) {
+    pool.submit([&] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      pool.submit([&] {  // child task submitted from inside a worker
+        count.fetch_add(1, std::memory_order_relaxed);
+        done.count_down();
+      });
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(count.load(), 2 * n);
+}
+
+TEST(DeriveSeed, StreamsAreDistinctAndStable) {
+  EXPECT_EQ(stats::derive_seed(99, 0), stats::derive_seed(99, 0));
+  EXPECT_NE(stats::derive_seed(99, 0), stats::derive_seed(99, 1));
+  EXPECT_NE(stats::derive_seed(99, 0), stats::derive_seed(100, 0));
+}
+
+}  // namespace
+}  // namespace vabi::core
