@@ -1,21 +1,77 @@
 // Micro-benchmarks of the DP key operations (google-benchmark).
 //
 // Quantifies the constants behind the complexity claims:
-//   - sparse canonical-form arithmetic (add / sigma-of-difference / min);
+//   - sparse canonical-form arithmetic (add / sigma-of-difference / min),
+//     value-semantics vs pooled (arena-backed) variants, with allocations/op
+//     reported as a counter;
 //   - linear merge + sweep prune (2P) vs cross-product merge + pairwise
 //     prune (4P) on identical candidate lists -- Fig. 1 vs Section 2.2;
 //   - the Fig. 1 deterministic linear merge.
+//
+// Machine-readable output: run with
+//   --benchmark_format=json --benchmark_out=BENCH_micro_ops.json
+// The JSON carries ns/op, the allocs_per_op counter, and the git sha (custom
+// context).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <random>
 
 #include "core/pruning.hpp"
+#include "json_out.hpp"
 #include "stats/linear_form.hpp"
+#include "stats/term_pool.hpp"
 #include "stats/rng.hpp"
+
+// Global allocation counter: every operator new in the process bumps it, so
+// the allocs_per_op counters below cover the term vectors, list buffers, and
+// everything else the measured op touches. (Aligned variants are not
+// overridden; lf_term storage is 8-byte aligned and never routes there.)
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// The replacement is program-wide (all four news below), so free() always
+// receives malloc'd pointers; GCC's mismatched-new-delete heuristic cannot
+// see that across TUs.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
 using namespace vabi;
+
+/// Measures heap allocations across the timed loop and reports them per op.
+class alloc_meter {
+ public:
+  alloc_meter() : start_(g_heap_allocs.load(std::memory_order_relaxed)) {}
+  void report(benchmark::State& state) const {
+    const auto end = g_heap_allocs.load(std::memory_order_relaxed);
+    state.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(end - start_) /
+        static_cast<double>(state.iterations()));
+  }
+
+ private:
+  std::uint64_t start_;
+};
 
 struct form_fixture {
   stats::variation_space space;
@@ -42,12 +98,27 @@ struct form_fixture {
 
 void BM_LinearFormAdd(benchmark::State& state) {
   form_fixture fx(1024, 2, static_cast<std::size_t>(state.range(0)));
+  alloc_meter allocs;
   for (auto _ : state) {
     auto sum = fx.forms[0] + fx.forms[1];
     benchmark::DoNotOptimize(sum);
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_LinearFormAdd)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PooledAdd(benchmark::State& state) {
+  form_fixture fx(1024, 2, static_cast<std::size_t>(state.range(0)));
+  stats::term_pool pool;
+  alloc_meter allocs;
+  for (auto _ : state) {
+    pool.reset();  // epoch boundary, exactly as the DP's per-node rewind
+    auto sum = stats::pooled_add(fx.forms[0], fx.forms[1], pool);
+    benchmark::DoNotOptimize(sum);
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_PooledAdd)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_SigmaOfDifference(benchmark::State& state) {
   form_fixture fx(1024, 2, static_cast<std::size_t>(state.range(0)));
@@ -60,12 +131,42 @@ BENCHMARK(BM_SigmaOfDifference)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_StatisticalMin(benchmark::State& state) {
   form_fixture fx(1024, 2, static_cast<std::size_t>(state.range(0)));
+  alloc_meter allocs;
   for (auto _ : state) {
     auto m = stats::statistical_min(fx.forms[0], fx.forms[1], fx.space);
     benchmark::DoNotOptimize(m);
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_StatisticalMin)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PooledStatisticalMin(benchmark::State& state) {
+  form_fixture fx(1024, 2, static_cast<std::size_t>(state.range(0)));
+  stats::term_pool pool;
+  alloc_meter allocs;
+  for (auto _ : state) {
+    pool.reset();
+    auto m =
+        stats::statistical_min(fx.forms[0], fx.forms[1], fx.space, pool);
+    benchmark::DoNotOptimize(m);
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_PooledStatisticalMin)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PooledSubScaled(benchmark::State& state) {
+  // The add-wire / add-buffer update (eqs. 33-36): a - s*b in one merge.
+  form_fixture fx(1024, 2, static_cast<std::size_t>(state.range(0)));
+  stats::term_pool pool;
+  alloc_meter allocs;
+  for (auto _ : state) {
+    pool.reset();
+    auto r = stats::pooled_sub_scaled(fx.forms[0], 3.25, fx.forms[1], pool);
+    benchmark::DoNotOptimize(r);
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_PooledSubScaled)->Arg(8)->Arg(64)->Arg(512);
 
 std::vector<core::stat_candidate> make_candidates(std::size_t n,
                                                   std::uint64_t seed) {
@@ -136,4 +237,11 @@ BENCHMARK(BM_DetPrune)->Range(64, 4096)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("git_sha", vabi::bench::git_sha());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

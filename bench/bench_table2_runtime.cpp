@@ -11,22 +11,42 @@
 // All (net, rule) jobs are independent, so they run through the batch solver
 // (`--threads N`); results are deterministic and printed in table order
 // regardless of the thread count.
+//
+// `--smoke` (or VABI_SMOKE=1) restricts the run to the small generated nets
+// with tight caps -- the CI bench-smoke job uses it to produce the
+// BENCH_table2.json artifact (`--json <path>`) in seconds.
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/parallel.hpp"
 #include "harness.hpp"
+#include "json_out.hpp"
+
+namespace {
+
+bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") return true;
+  }
+  const char* v = std::getenv("VABI_SMOKE");
+  return v != nullptr && std::string(v) != "0";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vabi;
   bench::experiment_config cfg;
   const auto profile = layout::spatial_profile::heterogeneous;
   const std::size_t threads = bench::parse_threads(argc, argv);
+  const bool smoke = smoke_mode(argc, argv);
 
   std::cout << "=== Table 2: Runtime comparison (seconds, " << threads
             << (threads == 1 ? " thread" : " threads") << ") ===\n";
-  analysis::text_table t{
-      {"Bench", "4P (s)", "2P (s)", "Speedup", "4P peak list", "2P peak list"}};
+  analysis::text_table t{{"Bench", "4P (s)", "2P (s)", "Speedup",
+                          "4P peak list", "2P peak list", "2P allocs",
+                          "2P peak terms"}};
 
   // Small generated nets locate the 4P feasibility boundary (the paper's 4P
   // reimplementation completed its smallest net and died on the rest; our 4P
@@ -41,7 +61,9 @@ int main(int argc, char** argv) {
     s.seed = 500 + sinks;
     specs.push_back(s);
   }
-  for (const auto& spec : bench::suite()) specs.push_back(spec);
+  if (!smoke) {
+    for (const auto& spec : bench::suite()) specs.push_back(spec);
+  }
 
   std::vector<tree::routing_tree> nets;
   nets.reserve(specs.size());
@@ -53,7 +75,7 @@ int main(int argc, char** argv) {
   core::stat_options caps;
   caps.max_candidates = bench::full_mode() ? 50'000'000 : 3'000'000;
   caps.max_list_size = 200'000;
-  caps.max_wall_seconds = bench::full_mode() ? 600.0 : 30.0;
+  caps.max_wall_seconds = bench::full_mode() ? 600.0 : (smoke ? 5.0 : 30.0);
 
   // Jobs 2i / 2i+1 are net i under 4P / 2P.
   std::vector<core::batch_job> jobs;
@@ -75,6 +97,7 @@ int main(int argc, char** argv) {
   core::batch_solver solver{solver_cfg};
   const auto results = solver.solve(jobs);
 
+  bench::json_records json;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const auto& r4 = results[2 * i].result;
     const auto& r2 = results[2 * i + 1].result;
@@ -92,9 +115,30 @@ int main(int argc, char** argv) {
                r4.stats.aborted
                    ? ("abort: " + r4.stats.abort_reason)
                    : std::to_string(r4.stats.peak_list_size),
-               std::to_string(r2.stats.peak_list_size)});
+               std::to_string(r2.stats.peak_list_size),
+               std::to_string(r2.stats.allocations),
+               std::to_string(r2.stats.peak_terms)});
+    for (const auto* r : {&r4, &r2}) {
+      json.begin()
+          .str("bench", specs[i].name)
+          .str("rule", r == &r4 ? "4P" : "2P")
+          .boolean("aborted", r->stats.aborted)
+          .num("seconds", r->stats.wall_seconds)
+          .num("candidates",
+               static_cast<std::uint64_t>(r->stats.candidates_created))
+          .num("peak_list",
+               static_cast<std::uint64_t>(r->stats.peak_list_size))
+          .num("allocations",
+               static_cast<std::uint64_t>(r->stats.allocations))
+          .num("peak_terms", static_cast<std::uint64_t>(r->stats.peak_terms))
+          .num("num_buffers", static_cast<std::uint64_t>(r->num_buffers));
+    }
   }
   t.print(std::cout);
+  const std::string json_path = bench::parse_json_path(argc, argv);
+  if (json.write(json_path, "table2_runtime")) {
+    std::cout << "(json artifact: " << json_path << ")\n";
+  }
   std::cout << "(paper: 4P finishes only p1 at 25.4s vs 2P 1.5s = 17.3x; "
                "all larger nets exceed 2GB/4h for 4P, while 2P completes "
                "r5 in under 16 minutes)\n";

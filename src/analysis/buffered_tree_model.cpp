@@ -31,17 +31,18 @@ buffered_tree_model::buffered_tree_model(
   }
   num_buffers_ = assignment_.count();
 
-  // One bottom-up pass with the variation-aware key operations.
+  // One bottom-up pass with the variation-aware key operations. All form
+  // math writes into one pass-local term pool (forms in load/rat only borrow
+  // it); the single surviving output is materialized before the pool dies.
+  stats::term_pool pool;
   std::vector<stats::linear_form> load(tree.num_nodes());
   std::vector<stats::linear_form> rat(tree.num_nodes());
-  std::vector<bool> have_rat(tree.num_nodes(), false);
 
   for (tree::node_id id : tree.postorder()) {
     const auto& n = tree.node(id);
     if (n.is_sink()) {
       load[id] = stats::linear_form{n.sink_cap_pf};
       rat[id] = stats::linear_form{n.sink_rat_ps};
-      have_rat[id] = true;
     } else {
       stats::linear_form l{0.0};
       stats::linear_form t;
@@ -50,24 +51,24 @@ buffered_tree_model::buffered_tree_model(
         const double um = tree.node(c).parent_wire_um;
         const timing::wire_model& wire = menu_[wires_.width(c)];
         // eqs. 33-34.
-        stats::linear_form cl = load[c];
-        stats::linear_form ct = rat[c];
-        ct -= (wire.res_per_um * um) * load[c];
+        stats::linear_form ct =
+            stats::pooled_sub_scaled(rat[c], wire.res_per_um * um, load[c],
+                                     pool);
         ct -= 0.5 * wire.res_per_um * wire.cap_per_um * um * um;
+        stats::linear_form cl = stats::pooled_copy(load[c], pool);
         cl += wire.wire_cap(um);
-        l += cl;
+        l = stats::pooled_add(l, cl, pool);
         if (!have_t) {
           t = std::move(ct);
           have_t = true;
         } else {
-          t = stats::statistical_min(t, ct, model.space());  // eq. 38
+          t = stats::statistical_min(t, ct, model.space(), pool);  // eq. 38
         }
-        load[c] = stats::linear_form{};  // release memory
+        load[c] = stats::linear_form{};  // drop the borrowed spans
         rat[c] = stats::linear_form{};
       }
       load[id] = std::move(l);
       rat[id] = std::move(t);
-      have_rat[id] = have_t;
     }
     if (assignment_.has_buffer(id)) {
       if (n.is_source()) {
@@ -78,14 +79,15 @@ buffered_tree_model::buffered_tree_model(
       const auto& type = library_[b];
       devices_[id] = model.characterize(n.location, type.cap_pf, type.delay_ps);
       // eqs. 35-36.
-      rat[id] -= devices_[id].delay;
-      rat[id] -= type.res_ohm * load[id];
-      load[id] = devices_[id].cap;
+      rat[id] = stats::pooled_sub(rat[id], devices_[id].delay, pool);
+      rat[id] = stats::pooled_sub_scaled(rat[id], type.res_ohm, load[id], pool);
+      load[id] = stats::pooled_copy(devices_[id].cap, pool);
     }
   }
 
-  root_rat_ = std::move(rat[tree.root()]);
-  root_rat_ -= driver_res_ohm_ * load[tree.root()];
+  root_rat_ = stats::pooled_sub_scaled(rat[tree.root()], driver_res_ohm_,
+                                       load[tree.root()], pool);
+  root_rat_.own_terms();  // the pool dies with this constructor
 }
 
 double buffered_tree_model::evaluate_sample(

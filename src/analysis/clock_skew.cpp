@@ -19,7 +19,10 @@ skew_analysis analyze_clock_skew(const tree::routing_tree& tree,
 
   // Pass 1 (bottom-up): downstream load at each node as a canonical form,
   // including the buffer substitution (eq. 35); remember each instance's
-  // characterized forms for the delay pass.
+  // characterized forms for the delay pass. All three passes write their
+  // forms into one analysis-local pool; the outputs are materialized before
+  // it dies.
+  stats::term_pool pool;
   std::vector<stats::linear_form> load(tree.num_nodes());
   std::vector<layout::device_variation> devices(tree.num_nodes());
   const auto order = tree.postorder();
@@ -30,9 +33,9 @@ skew_analysis analyze_clock_skew(const tree::routing_tree& tree,
     } else {
       stats::linear_form l{0.0};
       for (tree::node_id c : n.children) {
-        stats::linear_form cl = load[c];
+        stats::linear_form cl = stats::pooled_copy(load[c], pool);
         cl += wire.wire_cap(tree.node(c).parent_wire_um);
-        l += cl;
+        l = stats::pooled_add(l, cl, pool);
       }
       load[id] = std::move(l);
     }
@@ -43,7 +46,7 @@ skew_analysis analyze_clock_skew(const tree::routing_tree& tree,
       }
       const auto& type = library[assignment.buffer(id)];
       devices[id] = model.characterize(n.location, type.cap_pf, type.delay_ps);
-      load[id] = devices[id].cap;
+      load[id] = stats::pooled_copy(devices[id].cap, pool);
     }
   }
 
@@ -57,12 +60,12 @@ skew_analysis analyze_clock_skew(const tree::routing_tree& tree,
     const auto& n = tree.node(id);
     if (!n.is_source()) {
       const double l = n.parent_wire_um;
-      stats::linear_form at = arrival[n.parent];
       // Wire delay into this node's pre-buffer load... the load seen by the
       // wire is the node's presented load, which already reflects a buffer
       // here (its input cap) -- matching the Elmore engine's semantics where
       // the wire drives the buffer input.
-      at += wire.res_per_um * l * load[id];
+      stats::linear_form at = stats::pooled_add_scaled(
+          arrival[n.parent], wire.res_per_um * l, load[id], pool);
       at += 0.5 * wire.res_per_um * wire.cap_per_um * l * l;
       if (assignment.has_buffer(id)) {
         // Buffer delay uses the load *behind* the buffer: recompute it from
@@ -72,13 +75,14 @@ skew_analysis analyze_clock_skew(const tree::routing_tree& tree,
           behind = stats::linear_form{n.sink_cap_pf};
         } else {
           for (tree::node_id c : n.children) {
-            stats::linear_form cl = load[c];
+            stats::linear_form cl = stats::pooled_copy(load[c], pool);
             cl += wire.wire_cap(tree.node(c).parent_wire_um);
-            behind += cl;
+            behind = stats::pooled_add(behind, cl, pool);
           }
         }
-        at += devices[id].delay;
-        at += library[assignment.buffer(id)].res_ohm * behind;
+        at = stats::pooled_add(at, devices[id].delay, pool);
+        at = stats::pooled_add_scaled(
+            at, library[assignment.buffer(id)].res_ohm, behind, pool);
       }
       arrival[id] = std::move(at);
     }
@@ -110,12 +114,16 @@ skew_analysis analyze_clock_skew(const tree::routing_tree& tree,
       earliest_mean = arrival[s].mean();
       out.earliest_sink = s;
     }
-    out.latest_arrival =
-        stats::statistical_max(out.latest_arrival, arrival[s], model.space());
-    out.earliest_arrival =
-        stats::statistical_min(out.earliest_arrival, arrival[s], model.space());
+    out.latest_arrival = stats::statistical_max(out.latest_arrival, arrival[s],
+                                                model.space(), pool);
+    out.earliest_arrival = stats::statistical_min(
+        out.earliest_arrival, arrival[s], model.space(), pool);
   }
   out.skew = out.latest_arrival - out.earliest_arrival;
+  // The returned forms must outlive the analysis pool.
+  out.latest_arrival.own_terms();
+  out.earliest_arrival.own_terms();
+  out.skew.own_terms();
   return out;
 }
 

@@ -26,12 +26,17 @@ det_result brute_force_insertion(const tree::routing_tree& tree,
   best.root_rat_ps = -std::numeric_limits<double>::infinity();
   best.assignment = timing::buffer_assignment(tree.num_nodes());
 
+  // One assignment reused across the whole enumeration: every odometer step
+  // rewrites exactly the changed positions (below we clear all, cheap and
+  // branch-free, still allocation-free).
+  timing::buffer_assignment assignment(tree.num_nodes());
   while (true) {
-    timing::buffer_assignment assignment(tree.num_nodes());
     for (std::size_t i = 0; i < positions; ++i) {
       if (choice[i] != 0) {
         assignment.place(pos[i],
                          static_cast<timing::buffer_index>(choice[i] - 1));
+      } else {
+        assignment.remove(pos[i]);
       }
     }
     const auto eval = timing::evaluate_buffered_tree(

@@ -104,7 +104,11 @@ cost_bounded_result run_cost_bounded_insertion(
 
   const auto t_start = std::chrono::steady_clock::now();
   cost_bounded_result result;
-  decision_arena arena;
+  // Reused across runs on this thread; see van_ginneken.cpp. Frontier designs
+  // are materialized (extract_design) before the arena can be reset again.
+  static thread_local decision_arena t_arena;
+  t_arena.reset();
+  decision_arena& arena = t_arena;
   std::vector<cand_list> lists(tree.num_nodes());
 
   for (tree::node_id id : tree.postorder()) {

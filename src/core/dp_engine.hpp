@@ -17,6 +17,19 @@
 //      device_cache in parallel.hpp);
 //   3. all mutable state (decision arena, dp_stats, list recycling) is owned
 //      per worker and only reduced commutatively (sums / maxes) at the join.
+//
+// Memory architecture (see also DESIGN.md). Every canonical form built while
+// solving one node lives in the worker's scratch term_pool; candidates only
+// *borrow* those terms. When the node's final list is known it is *sealed*:
+// the surviving forms' terms are copied (verbatim, so bit-identity is
+// trivial) into one exactly-sized term_block owned by the returned node_list,
+// and the scratch pool rewinds. Child lists consumed mid-node retire their
+// blocks into the worker arena, which recycles them only at end_node() --
+// candidates legitimately borrow child storage until then (e.g. a propagated
+// candidate's load form). Net effect: steady-state node solving performs no
+// heap allocation, lists can migrate across threads (a block is a plain
+// heap slab with single ownership), and live memory stays proportional to
+// the surviving lists exactly as in the pre-arena engine.
 #pragma once
 
 #include <algorithm>
@@ -37,30 +50,111 @@ namespace vabi::core::detail {
 using cand_list = std::vector<stat_candidate>;
 using dp_clock = std::chrono::steady_clock;
 
-/// Per-thread recycler of candidate-list buffers. The DP allocates and drops
-/// a fresh list per wire propagation / merge / consumed child; recycling the
-/// vector storage instead of freeing it kills the malloc churn that
-/// bench_micro_ops shows dominating the small-form operations. Never shared
-/// across threads.
-class list_arena {
+/// A solved node's candidate list: the candidates plus the sealed slab that
+/// owns the terms of their wider-than-inline forms. Self-contained (moves,
+/// including across threads, never invalidate the borrowed spans).
+struct node_list {
+  cand_list cands;
+  stats::term_block slab;
+};
+
+/// Per-worker memory arena of the DP: recycled candidate-list buffers, the
+/// scratch term_pool all per-node form math writes into, and recycled sealed
+/// slabs. Never shared across threads; blocks may *arrive* from other
+/// workers' arenas (a parent consumes a child list solved elsewhere), which
+/// is safe because a term_block is a plain heap slab with single ownership.
+class worker_arena {
  public:
+  /// Scratch storage for every form built while solving the current node.
+  /// Rewound by end_node(); see linear_form's pooled operations.
+  stats::term_pool& scratch() { return scratch_; }
+
   cand_list acquire() {
-    if (free_.empty()) return {};
-    cand_list list = std::move(free_.back());
-    free_.pop_back();
+    if (free_lists_.empty()) return {};
+    cand_list list = std::move(free_lists_.back());
+    free_lists_.pop_back();
     list.clear();
     return list;
   }
 
   void release(cand_list&& list) {
-    if (list.capacity() > 0 && free_.size() < max_pooled) {
-      free_.push_back(std::move(list));
+    if (list.capacity() > 0 && free_lists_.size() < max_pooled) {
+      free_lists_.push_back(std::move(list));
     }
+  }
+
+  /// Parks a consumed child list's slab until end_node(): candidates of the
+  /// node in flight may still borrow its terms (e.g. their load forms).
+  void retire_block(stats::term_block&& block) {
+    if (!block.empty()) retired_.push_back(std::move(block));
+  }
+
+  /// Seals `working` into a self-contained node_list: every form still
+  /// borrowing scratch or a child slab re-homes its terms (inline when they
+  /// fit, else into one exactly-sized recycled block). Pure byte copies --
+  /// the forms' values are untouched.
+  node_list seal(cand_list&& working) {
+    std::size_t total = 0;
+    for (const auto& c : working) {
+      if (!c.load.owns_terms() &&
+          c.load.num_terms() > stats::linear_form::inline_capacity) {
+        total += c.load.num_terms();
+      }
+      if (!c.rat.owns_terms() &&
+          c.rat.num_terms() > stats::linear_form::inline_capacity) {
+        total += c.rat.num_terms();
+      }
+    }
+    node_list out;
+    stats::lf_term* cursor = nullptr;
+    if (total != 0) {
+      if (!free_blocks_.empty()) {
+        out.slab = std::move(free_blocks_.back());
+        free_blocks_.pop_back();
+      }
+      cursor = out.slab.ensure(total, &block_allocs_);
+    }
+    for (auto& c : working) {
+      cursor += c.load.relocate_terms(cursor);
+      cursor += c.rat.relocate_terms(cursor);
+    }
+    out.cands = std::move(working);
+    return out;
+  }
+
+  /// Ends the current node's storage epoch: rewinds the scratch pool and
+  /// makes the slabs retired during the node reusable.
+  void end_node() {
+    scratch_.reset();
+    for (auto& b : retired_) {
+      if (free_blocks_.size() < max_pooled) {
+        free_blocks_.push_back(std::move(b));
+      }
+    }
+    retired_.clear();
+  }
+
+  /// Term-storage heap allocations made through this arena (scratch chunk
+  /// growth + sealed-slab growth).
+  std::size_t allocations() const {
+    return scratch_.allocations() + block_allocs_;
+  }
+
+  /// Prepares the arena for a new run while keeping all recycled storage --
+  /// this is what makes batch_solver's per-thread reuse across nets free.
+  void begin_run() {
+    end_node();
+    scratch_.reset_statistics();
+    block_allocs_ = 0;
   }
 
  private:
   static constexpr std::size_t max_pooled = 64;
-  std::vector<cand_list> free_;
+  stats::term_pool scratch_;
+  std::vector<cand_list> free_lists_;
+  std::vector<stats::term_block> free_blocks_;
+  std::vector<stats::term_block> retired_;
+  std::size_t block_allocs_ = 0;
 };
 
 /// Supplies the characterized device forms for buffering at (node, type).
@@ -91,7 +185,7 @@ struct dp_worker {
   const timing::wire_menu& menu;
   device_fn devices;
   decision_arena& arena;
-  list_arena& pool;
+  worker_arena& pool;
   dp_stats& dps;
   /// Per-worker count of candidates already flushed to `shared`. Lives in
   /// the worker's persistent state (a dp_worker is rebuilt per node task, the
@@ -164,7 +258,8 @@ struct dp_worker {
       const double cl = menu[0].cap_per_um * um;
       const double half_rcl2 = 0.5 * rl * cl;
       for (auto& c : list) {
-        c.rat -= rl * c.load;   // -r*l*L_n (both nominal and coefficients)
+        // -r*l*L_n (both nominal and coefficients), fused into one merge.
+        c.rat = stats::pooled_sub_scaled(c.rat, rl, c.load, pool.scratch());
         c.rat -= half_rcl2;     // -r*c*l^2/2
         c.load += cl;
       }
@@ -177,8 +272,7 @@ struct dp_worker {
         const double rl = menu[w].res_per_um * um;
         const double cl = menu[w].cap_per_um * um;
         stat_candidate v;
-        v.rat = c.rat;
-        v.rat -= rl * c.load;
+        v.rat = stats::pooled_sub_scaled(c.rat, rl, c.load, pool.scratch());
         v.rat -= 0.5 * rl * cl;
         v.load = c.load;
         v.load += cl;
@@ -191,15 +285,18 @@ struct dp_worker {
     list = std::move(out);
   }
 
-  /// eqs. 35-36 for one candidate and one characterized device.
+  /// eqs. 35-36 for one candidate and one characterized device. `cap` is the
+  /// device's C_b form already pinned into the current scratch epoch (see
+  /// add_buffered_candidates), shared by every candidate buffered here.
   stat_candidate buffered(const stat_candidate& c, tree::node_id node,
                           timing::buffer_index b,
-                          const layout::device_variation& dv) {
+                          const layout::device_variation& dv,
+                          const stats::linear_form& cap) {
     stat_candidate out;
-    out.rat = c.rat;
-    out.rat -= dv.delay;                             // -T_b (canonical form)
-    out.rat -= options.library[b].res_ohm * c.load;  // -R_b * L_n
-    out.load = dv.cap;                               // C_b
+    out.rat = stats::pooled_sub(c.rat, dv.delay, pool.scratch());  // -T_b
+    out.rat = stats::pooled_sub_scaled(out.rat, options.library[b].res_ohm,
+                                       c.load, pool.scratch());  // -R_b * L_n
+    out.load = cap;                                              // C_b
     out.why = arena.buffered(node, b, c.why);
     ++dps.candidates_created;
     return out;
@@ -208,8 +305,9 @@ struct dp_worker {
   /// eqs. 37-38 for one pair.
   stat_candidate merged_pair(const stat_candidate& a, const stat_candidate& b) {
     stat_candidate out;
-    out.load = a.load + b.load;
-    out.rat = stats::statistical_min(a.rat, b.rat, space);
+    out.load = stats::pooled_add(a.load, b.load, pool.scratch());
+    out.rat = stats::statistical_min(a.rat, b.rat, space, pool.scratch(),
+                                     options.term_prune_rel_eps);
     out.why = arena.merged(a.why, b.why);
     ++dps.candidates_created;
     ++dps.merge_pairs;
@@ -315,6 +413,9 @@ struct dp_worker {
       // One physical device per (node, type): every candidate buffered here
       // shares the same characterized forms (and random source).
       const layout::device_variation dv = devices(id, b);
+      // Pin C_b into the scratch epoch once; every buffered candidate's load
+      // then borrows it instead of copying the device form per candidate.
+      const stats::linear_form cap = stats::pooled_copy(dv.cap, pool.scratch());
       if (options.rule == pruning_kind::two_param &&
           options.two_param.is_mean_rule() &&
           options.selection_percentile == 0.5) {
@@ -330,14 +431,14 @@ struct dp_worker {
             best_k = k;
           }
         }
-        list.push_back(buffered(list[best_k], id, b, dv));
+        list.push_back(buffered(list[best_k], id, b, dv, cap));
       } else {
         // General rules: the key needs each resulting form's sigma, so
         // materialize candidates one at a time and keep the best.
         std::optional<stat_candidate> best;
         double best_key = -std::numeric_limits<double>::infinity();
         for (std::size_t k = 0; k < base; ++k) {
-          stat_candidate cand = buffered(list[k], id, b, dv);
+          stat_candidate cand = buffered(list[k], id, b, dv, cap);
           const double key = rat_selection_key(cand.rat);
           if (key > best_key) {
             best_key = key;
@@ -351,18 +452,43 @@ struct dp_worker {
 
   /// Computes the candidate list of `id` from its children's lists (which are
   /// consumed). On a resource-cap abort dps.aborted is set and the returned
-  /// list is meaningless.
-  cand_list solve_node(tree::node_id id, std::span<cand_list> lists) {
-    const auto& n = tree.node(id);
+  /// list is meaningless. Wraps one scratch epoch: all form math hits the
+  /// worker's scratch pool, the surviving list is sealed, the pool rewinds.
+  node_list solve_node(tree::node_id id, std::span<node_list> lists) {
+    const std::size_t alloc0 =
+        pool.allocations() + stats::term_heap_allocations();
     cand_list here = pool.acquire();
+    solve_node_impl(id, lists, here);
+    node_list out;
+    if (!dps.aborted) {
+      out = pool.seal(std::move(here));
+    } else {
+      // Aborted lists are meaningless; drop the borrowed forms before the
+      // epoch ends and recycle the buffer.
+      here.clear();
+      pool.release(std::move(here));
+    }
+    pool.end_node();
+    dps.allocations +=
+        pool.allocations() + stats::term_heap_allocations() - alloc0;
+    dps.peak_terms = std::max(dps.peak_terms, pool.scratch().peak_terms());
+    return out;
+  }
+
+  void solve_node_impl(tree::node_id id, std::span<node_list> lists,
+                       cand_list& here) {
+    const auto& n = tree.node(id);
     if (n.is_sink()) {
       here.push_back({stats::linear_form{n.sink_cap_pf},
                       stats::linear_form{n.sink_rat_ps}, arena.leaf()});
       ++dps.candidates_created;
     } else {
       for (tree::node_id child : n.children) {
-        cand_list up = std::move(lists[child]);
-        lists[child] = cand_list{};
+        cand_list up = std::move(lists[child].cands);
+        // The child's slab must outlive this node: `up`'s forms (and copies
+        // of them) borrow it until the seal.
+        pool.retire_block(std::move(lists[child].slab));
+        lists[child] = node_list{};
         propagate_wire(up, child, tree.node(child).parent_wire_um);
         prune(up);
         if (here.empty()) {
@@ -382,21 +508,21 @@ struct dp_worker {
         if (over_budget(here.size())) break;
       }
     }
-    if (dps.aborted) return here;
+    if (dps.aborted) return;
     if (!n.is_source()) {
       add_buffered_candidates(here, id);
-      if (over_budget(here.size())) return here;
+      if (over_budget(here.size())) return;
       prune(here);
     }
     dps.peak_list_size = std::max(dps.peak_list_size, here.size());
     over_budget(here.size());
     publish();
-    return here;
   }
 
   /// Picks the winning root candidate and backtracks it into a design.
   /// Requires a completed (non-aborted) run; throws on an empty root list.
-  stat_result select_root(const cand_list& root_list) {
+  stat_result select_root(const node_list& root) {
+    const cand_list& root_list = root.cands;
     if (root_list.empty()) {
       throw std::logic_error("run_statistical_insertion: empty root list");
     }
@@ -415,6 +541,9 @@ struct dp_worker {
         best_rat = std::move(root_rat);
       }
     }
+    // The winner may still borrow the root list's slab (e.g. when the driver
+    // load is deterministic); the caller's result must outlive it.
+    best_rat.own_terms();
     result.root_rat = std::move(best_rat);
     design_choice design = extract_design(best->why, tree.num_nodes());
     result.assignment = std::move(design.buffers);

@@ -176,7 +176,7 @@ namespace {
 struct parallel_run {
   struct worker_state {
     decision_arena arena;
-    detail::list_arena lists;
+    detail::worker_arena mem;
     dp_stats dps;
     std::size_t published = 0;
   };
@@ -189,7 +189,7 @@ struct parallel_run {
   thread_pool& pool;
 
   std::vector<worker_state> states;
-  std::vector<detail::cand_list> lists;
+  std::vector<detail::node_list> lists;
   std::vector<std::atomic<std::uint32_t>> pending;
   detail::shared_budget budget;
   std::latch done{1};
@@ -229,7 +229,7 @@ struct parallel_run {
           return cache.get(id, b);
         },
         st.arena,
-        st.lists,
+        st.mem,
         st.dps,
         st.published,
         {},
@@ -251,7 +251,7 @@ struct parallel_run {
     try {
       if (!budget.aborted.load(std::memory_order_acquire)) {
         detail::dp_worker worker = make_worker(states[w]);
-        detail::cand_list here = worker.solve_node(id, lists);
+        detail::node_list here = worker.solve_node(id, lists);
         if (!states[w].dps.aborted) {
           lists[id] = std::move(here);
         } else {
@@ -304,6 +304,8 @@ struct parallel_run {
       total.merge_pairs += st.dps.merge_pairs;
       total.peak_list_size = std::max(total.peak_list_size,
                                       st.dps.peak_list_size);
+      total.allocations += st.dps.allocations;
+      total.peak_terms = std::max(total.peak_terms, st.dps.peak_terms);
       if (st.dps.aborted && (!total.aborted ||
                              total.abort_reason == "aborted by another worker")) {
         total.aborted = true;

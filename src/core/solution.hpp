@@ -10,8 +10,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "stats/linear_form.hpp"
 #include "timing/buffer_library.hpp"
@@ -33,35 +34,69 @@ struct decision {
   const decision* right = nullptr;              ///< merge: b
 };
 
-/// Stable-address arena for decisions (std::deque never relocates).
+/// Stable-address arena for decisions: chunked slabs bumped in order, the
+/// same scheme as stats::term_pool. reset() rewinds in O(1) keeping the
+/// slabs, so one arena amortizes to zero allocations when reused across runs
+/// (the serial driver keeps one per thread; see statistical_dp.cpp).
 class decision_arena {
  public:
+  decision_arena() = default;
+  decision_arena(const decision_arena&) = delete;
+  decision_arena& operator=(const decision_arena&) = delete;
+
   const decision* leaf() {
-    return &pool_.emplace_back(decision{decision::kind::leaf, tree::invalid_node,
-                                        0, nullptr, nullptr});
+    return push(decision{decision::kind::leaf, tree::invalid_node, 0, nullptr,
+                         nullptr});
   }
   const decision* buffered(tree::node_id node, timing::buffer_index b,
                            const decision* prior) {
-    return &pool_.emplace_back(
-        decision{decision::kind::buffer, node, b, prior, nullptr});
+    return push(decision{decision::kind::buffer, node, b, prior, nullptr});
   }
   const decision* merged(const decision* a, const decision* b) {
-    return &pool_.emplace_back(
-        decision{decision::kind::merge, tree::invalid_node, 0, a, b});
+    return push(decision{decision::kind::merge, tree::invalid_node, 0, a, b});
   }
   /// Width choice for the edge above `node` (only recorded when wire sizing
   /// is enabled; width is stored in the `buffer` slot).
   const decision* wire_sized(tree::node_id node, timing::width_index width,
                              const decision* prior) {
-    return &pool_.emplace_back(decision{decision::kind::wire, node,
-                                        static_cast<timing::buffer_index>(width),
-                                        prior, nullptr});
+    return push(decision{decision::kind::wire, node,
+                         static_cast<timing::buffer_index>(width), prior,
+                         nullptr});
   }
 
-  std::size_t size() const { return pool_.size(); }
+  std::size_t size() const { return size_; }
+
+  /// Rewinds the arena to empty, keeping the slabs. Every decision pointer
+  /// handed out becomes invalid; callers must have extracted their designs.
+  void reset() {
+    chunk_idx_ = 0;
+    used_ = 0;
+    size_ = 0;
+  }
 
  private:
-  std::deque<decision> pool_;
+  static constexpr std::size_t chunk_cap = 1024;
+
+  const decision* push(const decision& d) {
+    if (chunk_idx_ < chunks_.size() && used_ == chunk_cap) {
+      ++chunk_idx_;
+      used_ = 0;
+    }
+    if (chunk_idx_ == chunks_.size()) {
+      chunks_.push_back(std::make_unique<decision[]>(chunk_cap));
+      used_ = 0;
+    }
+    decision* slot = chunks_[chunk_idx_].get() + used_;
+    *slot = d;
+    ++used_;
+    ++size_;
+    return slot;
+  }
+
+  std::vector<std::unique_ptr<decision[]>> chunks_;
+  std::size_t chunk_idx_ = 0;
+  std::size_t used_ = 0;
+  std::size_t size_ = 0;
 };
 
 /// Walks a decision DAG and records every buffer placement into an
@@ -101,6 +136,14 @@ struct dp_stats {
   std::size_t candidates_pruned = 0;   ///< discarded by the dominance rule
   std::size_t merge_pairs = 0;         ///< pair combinations evaluated
   std::size_t peak_list_size = 0;      ///< largest per-node candidate list
+  /// Heap allocations attributable to form/term storage while solving nodes:
+  /// scratch-pool chunk growth + sealed-slab growth + owning linear_form
+  /// spills. Steady state (recycled arenas) is ~0 per node. Scheduling-
+  /// dependent in parallel runs (chunk growth depends on which worker solves
+  /// which node), so it is excluded from the bit-identity guarantee.
+  std::size_t allocations = 0;
+  /// High-water mark of live scratch-pool terms over any single node solve.
+  std::size_t peak_terms = 0;
   double wall_seconds = 0.0;
   bool aborted = false;                ///< a resource cap fired (4P runs)
   std::string abort_reason;

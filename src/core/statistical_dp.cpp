@@ -42,6 +42,10 @@ void validate_stat_options(const stat_options& options) {
     throw std::invalid_argument(
         "run_statistical_insertion: selection_percentile must be in (0, 1)");
   }
+  if (options.term_prune_rel_eps < 0.0 || options.term_prune_rel_eps >= 1.0) {
+    throw std::invalid_argument(
+        "run_statistical_insertion: term_prune_rel_eps must be in [0, 1)");
+  }
 }
 
 timing::wire_menu make_wire_menu(const stat_options& options) {
@@ -67,19 +71,28 @@ stat_result run_statistical_insertion(const tree::routing_tree& tree,
                               type.delay_ps);
   };
 
-  decision_arena arena;
-  detail::list_arena pool;
+  // One arena set per thread, reused across runs: batch_solver fans nets
+  // across its pool threads, and each thread's scratch pool / decision slabs
+  // / recycled lists reach steady state after the first net (zero
+  // allocations per node from then on). reset()/begin_run() invalidate the
+  // previous run's storage, which is sound because results are materialized
+  // (own_terms, extract_design) before run_statistical_insertion returns.
+  static thread_local decision_arena t_arena;
+  static thread_local detail::worker_arena t_pool;
+  t_arena.reset();
+  t_pool.begin_run();
+
   dp_stats dps;
   std::size_t published = 0;
   detail::dp_worker worker{tree, model.space(), options,   menu,
-                           std::move(devices), arena,     pool,
+                           std::move(devices), t_arena,   t_pool,
                            dps,  published,    {},        nullptr};
   worker.t_start = detail::dp_clock::now();
 
-  std::vector<detail::cand_list> lists(tree.num_nodes());
+  std::vector<detail::node_list> lists(tree.num_nodes());
   for (tree::node_id id : tree.postorder()) {
     if (dps.aborted) break;
-    detail::cand_list here = worker.solve_node(id, lists);
+    detail::node_list here = worker.solve_node(id, lists);
     if (dps.aborted) break;
     lists[id] = std::move(here);
   }

@@ -72,6 +72,18 @@ struct stat_options {
   /// percentile of a canonical form costs one sparse sigma evaluation).
   double selection_percentile = 0.5;
 
+  /// Relative epsilon for dropping near-zero canonical-form terms at the
+  /// statistical-merge sites: after each tightness-probability blend
+  /// (eq. 38), terms with |coeff| <= eps * max|coeff| are discarded. The
+  /// blend multiplies every coefficient by t or (1-t) but never removes one,
+  /// so without this deep trees accumulate the union of every source id ever
+  /// seen -- superlinear term growth for a vanishing variance contribution
+  /// (a dropped term changes sigma by at most eps * sqrt(num_terms)
+  /// relative). 0 (the default) disables dropping and keeps results
+  /// bit-identical to the historical engines; ~1e-9 is a safe production
+  /// setting.
+  double term_prune_rel_eps = 0.0;
+
   /// Resource caps; exceeded => result.stats.aborted (0 = unlimited).
   std::size_t max_list_size = 0;
   std::size_t max_candidates = 0;

@@ -92,7 +92,12 @@ det_result run_van_ginneken(const tree::routing_tree& tree,
   const auto t_start = std::chrono::steady_clock::now();
 
   det_result result;
-  decision_arena arena;
+  // Reused across runs on this thread (batch_solver fans nets across pool
+  // threads): the chunked slabs reach steady state after the first net. Safe
+  // because the result is materialized (extract_design) before returning.
+  static thread_local decision_arena t_arena;
+  t_arena.reset();
+  decision_arena& arena = t_arena;
   std::vector<cand_list> lists(tree.num_nodes());
 
   for (tree::node_id id : tree.postorder()) {

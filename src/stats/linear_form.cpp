@@ -9,94 +9,265 @@
 
 namespace vabi::stats {
 
-linear_form::linear_form(double nominal, std::vector<lf_term> terms)
-    : nominal_(nominal), terms_(std::move(terms)) {
-  normalize();
+// ---------------------------------------------------------------------------
+// Storage management
+// ---------------------------------------------------------------------------
+
+linear_form::linear_form(const linear_form& other)
+    : nominal_(other.nominal_), size_(other.size_) {
+  if (other.capacity_ == 0) {
+    // Copy of a borrowed form is shallow: same external storage.
+    data_ = other.data_;
+    capacity_ = 0;
+  } else if (size_ <= inline_capacity) {
+    data_ = sbo_;
+    capacity_ = inline_capacity;
+    std::copy(other.data_, other.data_ + size_, data_);
+  } else {
+    data_ = new lf_term[size_];
+    capacity_ = size_;
+    detail::count_term_heap_allocation();
+    std::copy(other.data_, other.data_ + size_, data_);
+  }
 }
 
-void linear_form::normalize() {
-  std::sort(terms_.begin(), terms_.end(),
+linear_form::linear_form(linear_form&& other) noexcept
+    : nominal_(other.nominal_), size_(other.size_) {
+  if (other.owns_heap()) {
+    data_ = other.data_;
+    capacity_ = other.capacity_;
+    other.data_ = other.sbo_;
+    other.capacity_ = inline_capacity;
+    other.size_ = 0;
+  } else if (other.capacity_ == 0) {
+    data_ = other.data_;
+    capacity_ = 0;
+  } else {
+    data_ = sbo_;
+    capacity_ = inline_capacity;
+    std::copy(other.sbo_, other.sbo_ + size_, sbo_);
+  }
+}
+
+linear_form& linear_form::operator=(const linear_form& other) {
+  if (this == &other) return *this;
+  nominal_ = other.nominal_;
+  if (other.capacity_ == 0) {
+    release_heap();
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = 0;
+  } else {
+    assign_terms(other.data_, other.size_);
+  }
+  return *this;
+}
+
+linear_form& linear_form::operator=(linear_form&& other) noexcept {
+  if (this == &other) return *this;
+  nominal_ = other.nominal_;
+  if (other.owns_heap()) {
+    release_heap();
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.data_ = other.sbo_;
+    other.capacity_ = inline_capacity;
+    other.size_ = 0;
+  } else if (other.capacity_ == 0) {
+    release_heap();
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = 0;
+  } else {
+    assign_terms(other.data_, other.size_);
+  }
+  return *this;
+}
+
+void linear_form::assign_terms(const lf_term* src, std::size_t n) {
+  if (n <= inline_capacity) {
+    release_heap();
+    data_ = sbo_;
+    capacity_ = inline_capacity;
+  } else if (capacity_ < n) {
+    lf_term* p = new lf_term[n];
+    detail::count_term_heap_allocation();
+    release_heap();
+    data_ = p;
+    capacity_ = static_cast<std::uint32_t>(n);
+  }
+  std::copy(src, src + n, data_);
+  size_ = static_cast<std::uint32_t>(n);
+}
+
+void linear_form::ensure_mutable(std::size_t min_capacity) {
+  if (capacity_ == 0) {
+    // Borrowed: materialize the current terms into owned storage.
+    const lf_term* src = data_;
+    if (min_capacity <= inline_capacity) {
+      data_ = sbo_;
+      capacity_ = inline_capacity;
+    } else {
+      data_ = new lf_term[min_capacity];
+      capacity_ = static_cast<std::uint32_t>(min_capacity);
+      detail::count_term_heap_allocation();
+    }
+    std::copy(src, src + size_, data_);
+    return;
+  }
+  if (capacity_ >= min_capacity) return;
+  const std::size_t cap =
+      std::max(min_capacity, static_cast<std::size_t>(capacity_) * 2);
+  lf_term* p = new lf_term[cap];
+  detail::count_term_heap_allocation();
+  std::copy(data_, data_ + size_, p);
+  release_heap();
+  data_ = p;
+  capacity_ = static_cast<std::uint32_t>(cap);
+}
+
+void linear_form::own_terms() {
+  if (owns_terms()) return;
+  ensure_mutable(size_);
+}
+
+std::size_t linear_form::relocate_terms(lf_term* dst) {
+  if (owns_terms()) return 0;
+  if (size_ <= inline_capacity) {
+    ensure_mutable(size_);
+    return 0;
+  }
+  std::copy(data_, data_ + size_, dst);
+  data_ = dst;
+  return size_;
+}
+
+linear_form linear_form::from_pooled(double nominal,
+                                     std::span<const lf_term> terms) {
+  if (terms.empty()) return linear_form(nominal);
+  return linear_form(nominal, terms.data(), terms.size());
+}
+
+linear_form::linear_form(double nominal, std::vector<lf_term> terms)
+    : nominal_(nominal), data_(sbo_) {
+  std::sort(terms.begin(), terms.end(),
             [](const lf_term& a, const lf_term& b) { return a.id < b.id; });
   // Coalesce duplicate ids.
   std::size_t out = 0;
-  for (std::size_t i = 0; i < terms_.size();) {
-    lf_term merged = terms_[i];
+  for (std::size_t i = 0; i < terms.size();) {
+    lf_term merged = terms[i];
     std::size_t j = i + 1;
-    while (j < terms_.size() && terms_[j].id == merged.id) {
-      merged.coeff += terms_[j].coeff;
+    while (j < terms.size() && terms[j].id == merged.id) {
+      merged.coeff += terms[j].coeff;
       ++j;
     }
-    terms_[out++] = merged;
+    terms[out++] = merged;
     i = j;
   }
-  terms_.resize(out);
+  assign_terms(terms.data(), out);
 }
 
+// ---------------------------------------------------------------------------
+// Value-semantics operations
+// ---------------------------------------------------------------------------
+
 double linear_form::coefficient(source_id id) const {
-  const auto it = std::lower_bound(
-      terms_.begin(), terms_.end(), id,
+  const auto* it = std::lower_bound(
+      data_, data_ + size_, id,
       [](const lf_term& t, source_id v) { return t.id < v; });
-  if (it != terms_.end() && it->id == id) return it->coeff;
+  if (it != data_ + size_ && it->id == id) return it->coeff;
   return 0.0;
 }
 
 void linear_form::add_term(source_id id, double coeff) {
   if (coeff == 0.0) return;
-  const auto it = std::lower_bound(
-      terms_.begin(), terms_.end(), id,
-      [](const lf_term& t, source_id v) { return t.id < v; });
-  if (it != terms_.end() && it->id == id) {
-    it->coeff += coeff;
-  } else {
-    terms_.insert(it, lf_term{id, coeff});
+  const std::size_t lo = static_cast<std::size_t>(
+      std::lower_bound(data_, data_ + size_, id,
+                       [](const lf_term& t, source_id v) { return t.id < v; }) -
+      data_);
+  if (lo < size_ && data_[lo].id == id) {
+    ensure_mutable(size_);
+    data_[lo].coeff += coeff;
+    return;
   }
+  ensure_mutable(size_ + std::size_t{1});
+  for (std::size_t k = size_; k > lo; --k) data_[k] = data_[k - 1];
+  data_[lo] = lf_term{id, coeff};
+  ++size_;
 }
 
 namespace {
 
-// Merges the sparse term vectors of lhs and rhs with rhs scaled by `sign`.
-std::vector<lf_term> merge_terms(const std::vector<lf_term>& a,
-                                 const std::vector<lf_term>& b, double sign) {
-  std::vector<lf_term> out;
-  out.reserve(a.size() + b.size());
+// Merges two sorted sparse term arrays into `out` (sized for a.size() +
+// b.size()) as sa*a + sb*b. Exact coefficient expressions:
+//   both present: (sa * a_i) + (sb * b_i)
+//   a only:        sa * a_i
+//   b only:        sb * b_i
+// With sa == 1.0 this is bit-identical to the historical merge_terms(a, b,
+// sign) (1.0 * x == x for every x), which the golden bit-identity tests rely
+// on. When `max_abs` is given it receives max |coeff| of the output.
+std::size_t merge_scaled(std::span<const lf_term> a, double sa,
+                         std::span<const lf_term> b, double sb, lf_term* out,
+                         double* max_abs) {
   std::size_t i = 0;
   std::size_t j = 0;
+  std::size_t n = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i].id < b[j].id) {
-      out.push_back(a[i++]);
+      out[n++] = lf_term{a[i].id, sa * a[i].coeff};
+      ++i;
     } else if (a[i].id > b[j].id) {
-      out.push_back(lf_term{b[j].id, sign * b[j].coeff});
+      out[n++] = lf_term{b[j].id, sb * b[j].coeff};
       ++j;
     } else {
-      out.push_back(lf_term{a[i].id, a[i].coeff + sign * b[j].coeff});
+      const double pa = sa * a[i].coeff;
+      const double pb = sb * b[j].coeff;
+      out[n++] = lf_term{a[i].id, pa + pb};
       ++i;
       ++j;
     }
   }
-  for (; i < a.size(); ++i) out.push_back(a[i]);
-  for (; j < b.size(); ++j) out.push_back(lf_term{b[j].id, sign * b[j].coeff});
-  return out;
+  for (; i < a.size(); ++i) out[n++] = lf_term{a[i].id, sa * a[i].coeff};
+  for (; j < b.size(); ++j) out[n++] = lf_term{b[j].id, sb * b[j].coeff};
+  if (max_abs != nullptr) {
+    double m = 0.0;
+    for (std::size_t k = 0; k < n; ++k) m = std::max(m, std::abs(out[k].coeff));
+    *max_abs = m;
+  }
+  return n;
 }
+
+// Reused merge destination for the value-semantics += / -=. One live buffer
+// per thread; since every value op copies the result out before returning,
+// re-entrancy is impossible.
+thread_local std::vector<lf_term> t_merge_scratch;
 
 }  // namespace
 
 linear_form& linear_form::operator+=(const linear_form& rhs) {
   nominal_ += rhs.nominal_;
-  if (!rhs.terms_.empty()) {
-    if (terms_.empty()) {
-      terms_ = rhs.terms_;
-    } else {
-      terms_ = merge_terms(terms_, rhs.terms_, +1.0);
-    }
+  if (rhs.size_ == 0) return *this;
+  if (size_ == 0) {
+    assign_terms(rhs.data_, rhs.size_);
+    return *this;
   }
+  const std::size_t need = std::size_t{size_} + rhs.size_;
+  if (t_merge_scratch.size() < need) t_merge_scratch.resize(need);
+  const std::size_t n = merge_scaled(terms(), 1.0, rhs.terms(), 1.0,
+                                     t_merge_scratch.data(), nullptr);
+  assign_terms(t_merge_scratch.data(), n);
   return *this;
 }
 
 linear_form& linear_form::operator-=(const linear_form& rhs) {
   nominal_ -= rhs.nominal_;
-  if (!rhs.terms_.empty()) {
-    terms_ = merge_terms(terms_, rhs.terms_, -1.0);
-  }
+  if (rhs.size_ == 0) return *this;
+  const std::size_t need = std::size_t{size_} + rhs.size_;
+  if (t_merge_scratch.size() < need) t_merge_scratch.resize(need);
+  const std::size_t n = merge_scaled(terms(), 1.0, rhs.terms(), -1.0,
+                                     t_merge_scratch.data(), nullptr);
+  assign_terms(t_merge_scratch.data(), n);
   return *this;
 }
 
@@ -112,17 +283,23 @@ linear_form& linear_form::operator-=(double constant) {
 
 linear_form& linear_form::operator*=(double scale) {
   nominal_ *= scale;
+  if (size_ == 0) return *this;
   if (scale == 0.0) {
-    terms_.clear();
-  } else {
-    for (auto& t : terms_) t.coeff *= scale;
+    size_ = 0;
+    if (capacity_ == 0) {
+      data_ = sbo_;
+      capacity_ = inline_capacity;
+    }
+    return *this;
   }
+  ensure_mutable(size_);
+  for (std::uint32_t i = 0; i < size_; ++i) data_[i].coeff *= scale;
   return *this;
 }
 
 double linear_form::variance(const variation_space& space) const {
   double var = 0.0;
-  for (const auto& t : terms_) var += t.coeff * t.coeff * space.variance(t.id);
+  for (const auto& t : terms()) var += t.coeff * t.coeff * space.variance(t.id);
   return var;
 }
 
@@ -132,7 +309,7 @@ double linear_form::stddev(const variation_space& space) const {
 
 double linear_form::evaluate(std::span<const double> sample) const {
   double v = nominal_;
-  for (const auto& t : terms_) {
+  for (const auto& t : terms()) {
     assert(t.id < sample.size());
     v += t.coeff * sample[t.id];
   }
@@ -140,14 +317,28 @@ double linear_form::evaluate(std::span<const double> sample) const {
 }
 
 void linear_form::prune_zero_terms(double eps) {
-  std::erase_if(terms_,
-                [eps](const lf_term& t) { return std::abs(t.coeff) <= eps; });
+  if (size_ == 0) return;
+  bool any = false;
+  for (std::uint32_t i = 0; i < size_ && !any; ++i) {
+    any = std::abs(data_[i].coeff) <= eps;
+  }
+  if (!any) return;
+  ensure_mutable(size_);
+  std::uint32_t out = 0;
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    if (std::abs(data_[i].coeff) > eps) data_[out++] = data_[i];
+  }
+  size_ = out;
 }
+
+// ---------------------------------------------------------------------------
+// Free functions over forms
+// ---------------------------------------------------------------------------
 
 double covariance(const linear_form& a, const linear_form& b,
                   const variation_space& space) {
-  const auto& ta = a.terms();
-  const auto& tb = b.terms();
+  const auto ta = a.terms();
+  const auto tb = b.terms();
   double cov = 0.0;
   std::size_t i = 0;
   std::size_t j = 0;
@@ -176,8 +367,8 @@ double correlation(const linear_form& a, const linear_form& b,
 double sigma_of_difference(const linear_form& a, const linear_form& b,
                            const variation_space& space) {
   // One sparse pass over the union of term ids: Var(a-b) = sum (a_i-b_i)^2 s_i^2.
-  const auto& ta = a.terms();
-  const auto& tb = b.terms();
+  const auto ta = a.terms();
+  const auto tb = b.terms();
   double var = 0.0;
   std::size_t i = 0;
   std::size_t j = 0;
@@ -252,6 +443,180 @@ std::ostream& operator<<(std::ostream& os, const linear_form& f) {
        << t.id;
   }
   return os;
+}
+
+// ---------------------------------------------------------------------------
+// Pooled operations
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+linear_form adopt_pool_result(double nominal, term_pool& pool, lf_term* buf,
+                              std::size_t allocated, std::size_t used) {
+  if (used <= linear_form::inline_capacity) {
+    // Small result: inline, and the whole pool allocation is returned.
+    linear_form out(nominal, nullptr, 0);
+    std::copy(buf, buf + used, out.sbo_);
+    out.size_ = static_cast<std::uint32_t>(used);
+    pool.trim(buf, allocated, 0);
+    return out;
+  }
+  pool.trim(buf, allocated, used);
+  return linear_form(nominal, buf, used);
+}
+
+}  // namespace detail
+
+linear_form pooled_copy(const linear_form& f, term_pool& pool) {
+  const auto ts = f.terms();
+  if (ts.size() <= linear_form::inline_capacity || !f.owns_terms()) {
+    // Inline copies are self-contained; borrowed copies stay shallow (their
+    // storage already has caller-managed lifetime).
+    return f;
+  }
+  lf_term* buf = pool.allocate(ts.size());
+  std::copy(ts.begin(), ts.end(), buf);
+  return detail::adopt_pool_result(f.nominal(), pool, buf, ts.size(),
+                                   ts.size());
+}
+
+linear_form pooled_add(const linear_form& a, const linear_form& b,
+                       term_pool& pool) {
+  const std::size_t cap = a.num_terms() + b.num_terms();
+  lf_term* buf = pool.allocate(cap);
+  const std::size_t n =
+      merge_scaled(a.terms(), 1.0, b.terms(), 1.0, buf, nullptr);
+  return detail::adopt_pool_result(a.nominal() + b.nominal(), pool, buf, cap,
+                                   n);
+}
+
+linear_form pooled_sub(const linear_form& a, const linear_form& b,
+                       term_pool& pool) {
+  const std::size_t cap = a.num_terms() + b.num_terms();
+  lf_term* buf = pool.allocate(cap);
+  const std::size_t n =
+      merge_scaled(a.terms(), 1.0, b.terms(), -1.0, buf, nullptr);
+  return detail::adopt_pool_result(a.nominal() - b.nominal(), pool, buf, cap,
+                                   n);
+}
+
+linear_form pooled_sub_scaled(const linear_form& a, double s,
+                              const linear_form& b, term_pool& pool) {
+  // a - s*b in one pass: (-s)*b_i == -(s*b_i) exactly (IEEE negation commutes
+  // with rounding), so this matches the two-step `a -= s * b` bit for bit.
+  // s == 0 scaled the temporary to an empty form historically (operator*=
+  // clears on zero), making the subtraction a terms no-op.
+  if (s == 0.0) {
+    linear_form out = pooled_copy(a, pool);
+    out -= s * b.nominal();
+    return out;
+  }
+  const std::size_t cap = a.num_terms() + b.num_terms();
+  lf_term* buf = pool.allocate(cap);
+  const std::size_t n =
+      merge_scaled(a.terms(), 1.0, b.terms(), -s, buf, nullptr);
+  return detail::adopt_pool_result(a.nominal() - s * b.nominal(), pool, buf,
+                                   cap, n);
+}
+
+linear_form pooled_add_scaled(const linear_form& a, double s,
+                              const linear_form& b, term_pool& pool) {
+  // a + s*b; the s == 0 guard mirrors pooled_sub_scaled.
+  if (s == 0.0) {
+    linear_form out = pooled_copy(a, pool);
+    out += s * b.nominal();
+    return out;
+  }
+  const std::size_t cap = a.num_terms() + b.num_terms();
+  lf_term* buf = pool.allocate(cap);
+  const std::size_t n =
+      merge_scaled(a.terms(), 1.0, b.terms(), s, buf, nullptr);
+  return detail::adopt_pool_result(a.nominal() + s * b.nominal(), pool, buf,
+                                   cap, n);
+}
+
+linear_form pooled_blend(double sa, const linear_form& a, double sb,
+                         const linear_form& b, term_pool& pool) {
+  // A zero scale eliminates that side's term ids entirely (operator*= clears
+  // the vector on scale == 0, and the historical blends were built on it) --
+  // they must not survive as explicit zero-coefficient terms, because form
+  // equality drives the pruning tie conventions.
+  const std::span<const lf_term> ta =
+      sa == 0.0 ? std::span<const lf_term>{} : a.terms();
+  const std::span<const lf_term> tb =
+      sb == 0.0 ? std::span<const lf_term>{} : b.terms();
+  const std::size_t cap = ta.size() + tb.size();
+  lf_term* buf = pool.allocate(cap);
+  const std::size_t n = merge_scaled(ta, sa, tb, sb, buf, nullptr);
+  const double pa = sa * a.nominal();
+  const double pb = sb * b.nominal();
+  return detail::adopt_pool_result(pa + pb, pool, buf, cap, n);
+}
+
+namespace {
+
+// Shared tail of the pooled statistical min/max: the tightness blend
+// sa*a + sb*b with an optional relative-epsilon drop of near-zero
+// coefficients (satellite fix for term-count bloat: the blend's tiny
+// coefficients otherwise survive forever and deep trees accumulate the union
+// of every source id they ever saw).
+linear_form blend_with_drop(double sa, const linear_form& a, double sb,
+                            const linear_form& b, double nominal_correction,
+                            term_pool& pool, double drop_rel_eps) {
+  // Saturated tightness (t exactly 0 or 1, routine when near-identical
+  // candidates meet in a cross merge and |z| is huge) zero-weights one side.
+  // The historical t*a + (1-t)*b computed through operator*= *cleared* that
+  // side's terms, so its ids must vanish here too (see pooled_blend) -- the
+  // 4P prune's identical-form shortcut depends on it.
+  const std::span<const lf_term> ta =
+      sa == 0.0 ? std::span<const lf_term>{} : a.terms();
+  const std::span<const lf_term> tb =
+      sb == 0.0 ? std::span<const lf_term>{} : b.terms();
+  const std::size_t cap = ta.size() + tb.size();
+  lf_term* buf = pool.allocate(cap);
+  double max_abs = 0.0;
+  std::size_t n = merge_scaled(ta, sa, tb, sb, buf,
+                               drop_rel_eps > 0.0 ? &max_abs : nullptr);
+  if (drop_rel_eps > 0.0) {
+    const double thr = drop_rel_eps * max_abs;
+    std::size_t out = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (std::abs(buf[k].coeff) > thr) buf[out++] = buf[k];
+    }
+    n = out;
+  }
+  const double pa = sa * a.nominal();
+  const double pb = sb * b.nominal();
+  const double nom = (pa + pb) + nominal_correction;
+  return detail::adopt_pool_result(nom, pool, buf, cap, n);
+}
+
+}  // namespace
+
+linear_form statistical_min(const linear_form& a, const linear_form& b,
+                            const variation_space& space, term_pool& pool,
+                            double drop_rel_eps) {
+  const double sigma = sigma_of_difference(a, b, space);
+  if (sigma == 0.0) return (a.mean() <= b.mean()) ? a : b;
+  const double z = (b.mean() - a.mean()) / sigma;
+  const double t = normal_cdf(z);
+  return blend_with_drop(t, a, 1.0 - t, b, -(sigma * normal_pdf(z)), pool,
+                         drop_rel_eps);
+}
+
+linear_form statistical_max(const linear_form& a, const linear_form& b,
+                            const variation_space& space, term_pool& pool,
+                            double drop_rel_eps) {
+  // max(a,b) = -min(-a,-b); folding the negations through the linearization
+  // gives the same blend with t = P(a > b) and a positive mean correction.
+  // Every fold is an exact IEEE negation, so this matches the value-semantics
+  // statistical_max bit for bit.
+  const double sigma = sigma_of_difference(a, b, space);
+  if (sigma == 0.0) return (a.mean() >= b.mean()) ? a : b;
+  const double z = (a.mean() - b.mean()) / sigma;
+  const double t = normal_cdf(z);
+  return blend_with_drop(t, a, 1.0 - t, b, sigma * normal_pdf(z), pool,
+                         drop_rel_eps);
 }
 
 }  // namespace vabi::stats

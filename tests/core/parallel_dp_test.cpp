@@ -123,6 +123,38 @@ TEST(ParallelDp, WireSizingBitIdentical) {
   check_rule_across_threads(make_net(60, 23), o);
 }
 
+TEST(ParallelDp, TermDropEpsilonBitIdentical) {
+  // Satellite of the arena refactor: the relative-epsilon term drop at the
+  // statistical-merge sites must not break thread-count invariance (the drop
+  // is a pure function of the blended form, applied at the same sites in the
+  // serial and parallel engines).
+  auto o = rule_options(pruning_kind::two_param);
+  o.term_prune_rel_eps = 1e-9;
+  check_rule_across_threads(make_net(150, 31), o);
+}
+
+TEST(ParallelDp, ArenaCountersPopulated) {
+  // allocations / peak_terms are memory telemetry, not part of the
+  // bit-identity contract (expect_identical does not compare them) -- but
+  // they must be populated by both drivers.
+  const auto net = make_net(100, 17);
+  const auto o = rule_options(pruning_kind::two_param);
+  auto serial_model = make_model(net, layout::wid_mode());
+  const auto serial = run_statistical_insertion(net, serial_model, o);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_GT(serial.stats.allocations, 0u);
+  EXPECT_GT(serial.stats.peak_terms, 0u);
+
+  thread_pool pool(4);
+  auto model = make_model(net, layout::wid_mode());
+  const auto parallel = run_parallel_insertion(net, model, o, pool);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_GT(parallel.stats.allocations, 0u);
+  EXPECT_GT(parallel.stats.peak_terms, 0u);
+  // Same work => same candidate-list high-water mark in terms.
+  EXPECT_EQ(parallel.stats.peak_terms, serial.stats.peak_terms);
+}
+
 TEST(ParallelDp, ResourceCapStillAborts) {
   const auto net = make_net(64, 3);
   auto o = rule_options(pruning_kind::four_param);
@@ -198,6 +230,44 @@ TEST(BatchSolver, GeneratedJobsAreThreadCountInvariant) {
     }
   }
   EXPECT_TRUE(jobs_differ);  // distinct streams => distinct nets
+}
+
+TEST(BatchSolver, WorkerArenasReusedAcrossWavesStayIdentical) {
+  // The solver keeps per-thread worker arenas alive between solve() calls
+  // (begin_run() rewinds epochs but keeps the recycled slabs). Two
+  // consecutive waves through the same solver -- with more jobs than
+  // threads, so every worker solves several nets back-to-back on warm
+  // arenas -- must produce the same results as a fresh solver. This is the
+  // reuse path CI exercises under ThreadSanitizer.
+  std::vector<tree::routing_tree> nets;
+  for (std::uint64_t seed : {201, 202, 203, 204, 205, 206, 207}) {
+    nets.push_back(make_net(70, seed));
+  }
+  std::vector<batch_job> jobs;
+  for (const auto& net : nets) {
+    batch_job j;
+    j.tree = &net;
+    j.options = rule_options(pruning_kind::two_param);
+    j.model.mode = layout::wid_mode();
+    jobs.push_back(std::move(j));
+  }
+
+  batch_solver::config cfg;
+  cfg.num_threads = 2;  // 7 jobs on 2 threads => guaranteed arena reuse
+  batch_solver reused{cfg};
+  const auto wave1 = reused.solve(jobs);
+  const auto wave2 = reused.solve(jobs);
+
+  batch_solver fresh{cfg};
+  const auto reference = fresh.solve(jobs);
+
+  ASSERT_EQ(wave1.size(), jobs.size());
+  ASSERT_EQ(wave2.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "job " << i);
+    expect_identical(reference[i].result, wave1[i].result);
+    expect_identical(reference[i].result, wave2[i].result);
+  }
 }
 
 TEST(BatchSolver, PropagatesJobErrors) {

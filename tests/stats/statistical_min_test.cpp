@@ -1,10 +1,12 @@
 // Tests for the tightness-probability statistical min/max (paper eq. 38).
 #include <cmath>
 #include <random>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "stats/linear_form.hpp"
+#include "stats/term_pool.hpp"
 #include "stats/monte_carlo.hpp"
 #include "stats/normal.hpp"
 #include "stats/rng.hpp"
@@ -147,6 +149,43 @@ TEST(StatisticalMin, KnownVarianceUnderestimateOnAnticorrelatedInputs) {
   // Exact: min = -|X|, mean -sqrt(2/pi), variance 1 - 2/pi ~ 0.363.
   EXPECT_NEAR(m.mean(), -std::sqrt(2.0 / M_PI), 1e-12);
   EXPECT_LT(m.variance(space), 1.0 - 2.0 / M_PI);  // bias direction: low
+}
+
+TEST(StatisticalMin, RelativeEpsilonDropBoundsTermBloat) {
+  // Term-bloat regression: the tightness blend t*a + (1-t)*b never removes a
+  // term, so folding a chain of mins against branches ~7 sigma worse keeps
+  // every branch's source id with weight (1-t) ~ 1e-12 -- the term count
+  // grows linearly in the fold depth while the variance contribution is
+  // zero to machine precision. A relative drop epsilon of 1e-9 bounds the
+  // form size at the cost of a ~eps-relative moment perturbation.
+  variation_space space;
+  const auto x0 = space.add_source(source_kind::random_device, 1.0);
+  constexpr int folds = 40;
+  std::vector<linear_form> branches;
+  for (int i = 0; i < folds; ++i) {
+    const auto xi = space.add_source(source_kind::random_device, 1.0);
+    // mean 10 => z ~ 7.1 sigma of the difference: t = Phi(z) is < 1 in
+    // double (no exact saturation) but 1-t ~ 1e-12.
+    branches.push_back(linear_form{10.0 + 0.01 * i, {{xi, 1.0}}});
+  }
+
+  term_pool pool;  // no reset mid-chain: the accumulator borrows from it
+  linear_form plain{0.0, {{x0, 1.0}}};
+  linear_form dropped = plain;
+  for (const auto& b : branches) {
+    plain = statistical_min(plain, b, space, pool, /*drop_rel_eps=*/0.0);
+    dropped = statistical_min(dropped, b, space, pool, 1e-9);
+  }
+
+  // eps == 0 reproduces the historical bloat; eps = 1e-9 bounds it.
+  EXPECT_GE(plain.num_terms(), static_cast<std::size_t>(folds));
+  EXPECT_LE(dropped.num_terms(), 2u);
+
+  // The dropped form is the same distribution to far better than 1e-6.
+  const double sigma = std::sqrt(plain.variance(space));
+  EXPECT_NEAR(dropped.mean(), plain.mean(),
+              1e-6 * std::max(1.0, std::abs(plain.mean())));
+  EXPECT_NEAR(std::sqrt(dropped.variance(space)), sigma, 1e-6 * sigma);
 }
 
 }  // namespace

@@ -1,0 +1,275 @@
+// term_pool / term_block mechanics, the linear_form storage model (inline /
+// owned / borrowed), and exact-equality property tests of the pooled
+// operations against their value-semantics references.
+//
+// The property tests are the unit-level face of the bit-identity contract:
+// for random sparse forms, every pooled_* op must produce a form that
+// compares operator== (exact doubles, same term ids) to the historical
+// value-semantics expression it replaces -- including the saturated
+// tightness cases (t == 0 / t == 1) where the historical blend *dropped* the
+// zero-weighted side's term ids via operator*='s clear-on-zero.
+#include "stats/term_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "stats/linear_form.hpp"
+#include "stats/rng.hpp"
+#include "stats/variation_space.hpp"
+
+namespace vabi::stats {
+namespace {
+
+TEST(TermPool, AllocateGrowsAndResetKeepsChunks) {
+  term_pool pool;
+  EXPECT_EQ(pool.capacity(), 0u);
+  EXPECT_EQ(pool.allocations(), 0u);
+
+  lf_term* a = pool.allocate(10);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(pool.live_terms(), 10u);
+  EXPECT_GE(pool.capacity(), 10u);
+  EXPECT_EQ(pool.allocations(), 1u);
+
+  // A second allocation in the same chunk: no new slab.
+  lf_term* b = pool.allocate(10);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.allocations(), 1u);
+  EXPECT_EQ(pool.live_terms(), 20u);
+  // Addresses are stable and disjoint within the epoch.
+  EXPECT_GE(b, a + 10);
+
+  const std::size_t cap = pool.capacity();
+  pool.reset();
+  EXPECT_EQ(pool.live_terms(), 0u);
+  EXPECT_EQ(pool.capacity(), cap);  // chunks kept
+  EXPECT_EQ(pool.allocations(), 1u);
+
+  // Steady state: the next epoch reuses the chunk, no allocation.
+  pool.allocate(20);
+  EXPECT_EQ(pool.allocations(), 1u);
+}
+
+TEST(TermPool, PeakTracksAcrossEpochsAndStatisticsReset) {
+  term_pool pool;
+  pool.allocate(100);
+  pool.reset();
+  pool.allocate(30);
+  EXPECT_EQ(pool.peak_terms(), 100u);
+  pool.reset_statistics();
+  EXPECT_EQ(pool.peak_terms(), 30u);  // rebased to the currently live terms
+  EXPECT_EQ(pool.allocations(), 0u);
+  pool.allocate(5);
+  EXPECT_EQ(pool.peak_terms(), 35u);  // 30 still live + 5
+}
+
+TEST(TermPool, TrimReturnsLatestAllocationTail) {
+  term_pool pool;
+  lf_term* p = pool.allocate(64);
+  pool.trim(p, 64, 16);
+  EXPECT_EQ(pool.live_terms(), 16u);
+  // The freed tail is immediately reusable without a new chunk.
+  const std::size_t allocs = pool.allocations();
+  lf_term* q = pool.allocate(32);
+  EXPECT_EQ(q, p + 16);
+  EXPECT_EQ(pool.allocations(), allocs);
+}
+
+TEST(TermPool, LargeAllocationGetsOwnChunk) {
+  term_pool pool;
+  pool.allocate(8);
+  lf_term* big = pool.allocate(100'000);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(pool.live_terms(), 100'008u);
+  EXPECT_GE(pool.capacity(), 100'008u);
+}
+
+TEST(TermBlock, EnsureRecyclesCapacity) {
+  term_block block;
+  EXPECT_TRUE(block.empty());
+  std::size_t allocs = 0;
+  lf_term* p = block.ensure(50, &allocs);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(allocs, 1u);
+  EXPECT_GE(block.capacity(), 50u);
+
+  // Smaller or equal requests reuse the slab.
+  lf_term* q = block.ensure(20, &allocs);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(allocs, 1u);
+
+  // Moves transfer ownership, the source becomes empty.
+  term_block other = std::move(block);
+  EXPECT_TRUE(block.empty());
+  EXPECT_GE(other.capacity(), 50u);
+}
+
+// -- linear_form storage model ----------------------------------------------
+
+linear_form make_form(double nominal, std::initializer_list<lf_term> terms) {
+  linear_form f{nominal};
+  for (const auto& t : terms) f.add_term(t.id, t.coeff);
+  return f;
+}
+
+TEST(LinearFormStorage, SmallFormsAreInline) {
+  const std::size_t heap0 = term_heap_allocations();
+  linear_form f = make_form(1.0, {{0, 0.1}, {1, 0.2}, {2, 0.3}, {3, 0.4}});
+  EXPECT_EQ(f.num_terms(), 4u);
+  EXPECT_TRUE(f.owns_terms());
+  EXPECT_EQ(term_heap_allocations(), heap0);  // inline_capacity == 4
+  // The fifth term spills to owned heap storage.
+  f.add_term(4, 0.5);
+  EXPECT_EQ(term_heap_allocations(), heap0 + 1);
+  EXPECT_TRUE(f.owns_terms());
+}
+
+TEST(LinearFormStorage, PooledResultsBorrowAndMaterializeOnMutation) {
+  term_pool pool;
+  linear_form a = make_form(1.0, {{0, 1.0}, {2, 2.0}, {4, 3.0}});
+  linear_form b = make_form(2.0, {{1, 5.0}, {2, -2.0}, {6, 1.0}});
+  linear_form sum = pooled_add(a, b, pool);  // 5 terms > inline => borrowed
+  ASSERT_EQ(sum.num_terms(), 5u);
+  EXPECT_FALSE(sum.owns_terms());
+  EXPECT_EQ(sum.coefficient(2), 0.0);  // exact cancellation term is KEPT
+
+  // Copies of a borrowed form are shallow (same span).
+  linear_form copy = sum;
+  EXPECT_FALSE(copy.owns_terms());
+  EXPECT_EQ(copy.terms().data(), sum.terms().data());
+
+  // Mutation materializes; the original borrow is untouched.
+  copy += b;
+  EXPECT_TRUE(copy.owns_terms());
+  EXPECT_FALSE(sum.owns_terms());
+
+  // own_terms() detaches from the pool before the epoch ends.
+  sum.own_terms();
+  EXPECT_TRUE(sum.owns_terms());
+  const linear_form reference = sum;
+  pool.reset();
+  EXPECT_EQ(sum, reference);
+}
+
+// -- pooled vs value-semantics property tests -------------------------------
+
+struct random_form_source {
+  std::mt19937_64 rng{12345};
+  std::uniform_int_distribution<int> num_terms{0, 12};
+  std::uniform_int_distribution<source_id> id{0, 31};
+  std::uniform_real_distribution<double> coeff{-2.0, 2.0};
+  std::uniform_real_distribution<double> mean{-50.0, 50.0};
+
+  linear_form next() {
+    linear_form f{mean(rng)};
+    const int n = num_terms(rng);
+    for (int i = 0; i < n; ++i) f.add_term(id(rng), coeff(rng));
+    return f;
+  }
+};
+
+TEST(PooledOpsProperty, ExactlyMatchValueSemantics) {
+  variation_space space;
+  for (int i = 0; i < 32; ++i) {
+    space.add_source(source_kind::random_device, 0.5 + 0.1 * i);
+  }
+  random_form_source forms;
+  term_pool pool;
+  std::uniform_real_distribution<double> scale(-3.0, 3.0);
+
+  for (int iter = 0; iter < 2000; ++iter) {
+    pool.reset();
+    const linear_form a = forms.next();
+    const linear_form b = forms.next();
+    const double s = scale(forms.rng);
+
+    {
+      linear_form ref = a;
+      ref += b;
+      EXPECT_EQ(pooled_add(a, b, pool), ref);
+    }
+    {
+      linear_form ref = a;
+      ref -= b;
+      EXPECT_EQ(pooled_sub(a, b, pool), ref);
+    }
+    {
+      linear_form ref = a;
+      ref -= s * b;
+      EXPECT_EQ(pooled_sub_scaled(a, s, b, pool), ref);
+    }
+    {
+      linear_form ref = a;
+      ref += s * b;
+      EXPECT_EQ(pooled_add_scaled(a, s, b, pool), ref);
+    }
+    {
+      const linear_form ref = statistical_min(a, b, space);
+      EXPECT_EQ(statistical_min(a, b, space, pool), ref);
+    }
+    {
+      const linear_form ref = statistical_max(a, b, space);
+      EXPECT_EQ(statistical_max(a, b, space, pool), ref);
+    }
+  }
+}
+
+TEST(PooledOpsProperty, SaturatedTightnessDropsZeroWeightedSide) {
+  // Means ~1e5 sigmas apart saturate t = Phi(z) to exactly 1.0: the
+  // historical blend t*a + (1-t)*b cleared b's terms (operator*= on zero).
+  // The pooled blend must drop those ids too, not keep zero-coefficient
+  // terms -- 4P pruning's identical-form tie convention compares term sets.
+  variation_space space;
+  for (int i = 0; i < 8; ++i) {
+    space.add_source(source_kind::random_device, 1.0);
+  }
+  const linear_form a = make_form(0.0, {{0, 1e-3}, {1, 2e-3}});
+  const linear_form b = make_form(1e6, {{2, 5.0}, {3, 1.0}, {4, 2.0}});
+
+  term_pool pool;
+  const linear_form ref = statistical_min(a, b, space);    // == a exactly
+  const linear_form pooled = statistical_min(a, b, space, pool);
+  EXPECT_EQ(pooled, ref);
+  EXPECT_EQ(pooled.num_terms(), a.num_terms());  // b's ids are gone
+
+  const linear_form ref_max = statistical_max(a, b, space);  // == b
+  const linear_form pooled_max = statistical_max(a, b, space, pool);
+  EXPECT_EQ(pooled_max, ref_max);
+  EXPECT_EQ(pooled_max.num_terms(), b.num_terms());
+
+  // Zero scale in the fused update is a terms no-op, as `-= 0.0 * b` was.
+  const linear_form sub0 = pooled_sub_scaled(a, 0.0, b, pool);
+  linear_form ref_sub0 = a;
+  ref_sub0 -= 0.0 * b;
+  EXPECT_EQ(sub0, ref_sub0);
+  EXPECT_EQ(sub0.num_terms(), a.num_terms());
+}
+
+TEST(PooledOpsProperty, SteadyStateAllocatesNothing) {
+  variation_space space;
+  for (int i = 0; i < 32; ++i) {
+    space.add_source(source_kind::random_device, 1.0);
+  }
+  random_form_source forms;
+  term_pool pool;
+  // Warm up the pool's chunks.
+  for (int iter = 0; iter < 64; ++iter) {
+    pool.reset();
+    statistical_min(forms.next(), forms.next(), space, pool);
+  }
+  const std::size_t allocs = pool.allocations();
+  for (int iter = 0; iter < 512; ++iter) {
+    pool.reset();
+    const linear_form a = forms.next();
+    const linear_form b = forms.next();
+    statistical_min(a, b, space, pool);
+    pooled_add(a, b, pool);
+    pooled_sub_scaled(a, 1.5, b, pool);
+  }
+  EXPECT_EQ(pool.allocations(), allocs);
+}
+
+}  // namespace
+}  // namespace vabi::stats
