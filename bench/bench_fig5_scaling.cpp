@@ -13,10 +13,12 @@
 #include <chrono>
 #include <cmath>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "core/parallel.hpp"
 #include "harness.hpp"
+#include "json_out.hpp"
 
 int main(int argc, char** argv) {
   using namespace vabi;
@@ -92,19 +94,45 @@ int main(int argc, char** argv) {
   core::batch_solver solver{solver_cfg};
 
   const auto t0 = std::chrono::steady_clock::now();
-  const auto results = solver.solve(jobs);
+  const auto outcomes = solver.solve_outcomes(jobs);
   const double batch_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  // Per-net status artifact: one record per job, uploaded by the CI bench
+  // smoke so a regression that starts tripping caps on some nets is visible
+  // as typed per-net codes, not a lost batch.
+  bench::json_records status;
   std::size_t total_buffers = 0;
-  for (const auto& r : results) total_buffers += r.result.num_buffers;
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& slot = outcomes[i];
+    status.begin()
+        .num("job", static_cast<std::uint64_t>(i))
+        .str("status", core::to_string(slot.ok() ? core::solve_code::ok
+                                                 : slot.error().code));
+    if (slot.ok()) {
+      total_buffers += slot->result.num_buffers;
+      status.str("path", core::to_string(slot->result.path))
+          .num("num_buffers",
+               static_cast<std::uint64_t>(slot->result.num_buffers))
+          .num("seconds", slot->result.stats.wall_seconds);
+    } else {
+      ++failed;
+      status.str("detail", slot.error().detail);
+    }
+  }
   std::cout << "\n=== Batch throughput: " << num_jobs << " nets x "
             << job_sinks << " sinks, 2P (WID model) ===\n"
             << "threads " << threads << ": " << analysis::fmt(batch_seconds, 2)
             << " s total, "
             << analysis::fmt(static_cast<double>(num_jobs) / batch_seconds, 1)
-            << " nets/s (" << total_buffers << " buffers inserted)\n"
+            << " nets/s (" << total_buffers << " buffers inserted, " << failed
+            << " failed)\n"
             << "(rerun with --threads N to compare wall-clock scaling)\n";
+  const std::string json_path = bench::parse_json_path(argc, argv);
+  if (status.write(json_path, "fig5_batch_status")) {
+    std::cout << "(per-net status artifact: " << json_path << ")\n";
+  }
   return 0;
 }

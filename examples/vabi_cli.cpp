@@ -16,13 +16,22 @@
 //     --seed N                  seed for --generate (default 1)
 //     --threads N               solve sibling subtrees on N threads
 //                               (default 1 = serial; results are identical)
+//     --deadline SECONDS        wall-clock budget for the solve
+//     --degrade none|retry|partial   fallback on cap/deadline trips
 //
-// Exit codes: 0 success, 1 usage error, 2 optimization aborted.
+// Exit codes (documented in README.md): 0 success, 1 usage error, 2 cannot
+// read/parse the input tree, then one distinct code per solve_code:
+// 3 candidate_cap, 4 deadline_exceeded, 5 memory_cap, 6 nonfinite_value,
+// 7 invalid_options, 8 invalid_tree, 9 cancelled, 10 internal. Every failure
+// prints a one-line "vabi_cli: error: ..." diagnostic to stderr.
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+
+#include "core/solve_status.hpp"
 
 #include "analysis/variance_breakdown.hpp"
 #include "analysis/yield.hpp"
@@ -49,7 +58,34 @@ struct cli_options {
   std::size_t generate_sinks = 0;
   std::uint64_t seed = 1;
   std::size_t threads = 1;
+  double deadline_seconds = 0.0;
+  core::degrade_policy degrade = core::degrade_policy::none;
 };
+
+/// One distinct nonzero exit code per solve_code (see the header comment).
+int exit_code_for(core::solve_code code) {
+  switch (code) {
+    case core::solve_code::ok:
+      return 0;
+    case core::solve_code::candidate_cap:
+      return 3;
+    case core::solve_code::deadline_exceeded:
+      return 4;
+    case core::solve_code::memory_cap:
+      return 5;
+    case core::solve_code::nonfinite_value:
+      return 6;
+    case core::solve_code::invalid_options:
+      return 7;
+    case core::solve_code::invalid_tree:
+      return 8;
+    case core::solve_code::cancelled:
+      return 9;
+    case core::solve_code::internal:
+      return 10;
+  }
+  return 10;
+}
 
 [[noreturn]] void usage(const char* msg) {
   if (msg != nullptr) std::cerr << "vabi_cli: " << msg << "\n";
@@ -58,7 +94,8 @@ struct cli_options {
                "                [--yield-percentile Q] [--driver-res OHM]\n"
                "                [--wire-widths W1,W2,...]\n"
                "                [--emit-assignment PATH]\n"
-               "                [--generate SINKS] [--seed N] [--threads N]\n";
+               "                [--generate SINKS] [--seed N] [--threads N]\n"
+               "                [--deadline SECONDS] [--degrade none|retry|partial]\n";
   std::exit(1);
 }
 
@@ -131,6 +168,20 @@ cli_options parse(int argc, char** argv) {
     } else if (a == "--threads") {
       o.threads = static_cast<std::size_t>(std::stoul(need_value(i)));
       if (o.threads == 0) usage("--threads must be at least 1");
+    } else if (a == "--deadline") {
+      o.deadline_seconds = std::stod(need_value(i));
+      if (o.deadline_seconds <= 0.0) usage("--deadline must be > 0");
+    } else if (a == "--degrade") {
+      const std::string v = need_value(i);
+      if (v == "none") {
+        o.degrade = core::degrade_policy::none;
+      } else if (v == "retry") {
+        o.degrade = core::degrade_policy::retry_deterministic;
+      } else if (v == "partial") {
+        o.degrade = core::degrade_policy::best_partial;
+      } else {
+        usage("unknown --degrade");
+      }
     } else if (!a.empty() && a[0] == '-') {
       usage(("unknown option " + a).c_str());
     } else if (o.tree_path.empty()) {
@@ -150,17 +201,23 @@ cli_options parse(int argc, char** argv) {
 int main(int argc, char** argv) {
   const cli_options cli = parse(argc, argv);
 
-  tree::routing_tree net = [&] {
+  std::optional<tree::routing_tree> loaded;
+  try {
     if (cli.generate_sinks > 0) {
       tree::random_tree_options g;
       g.num_sinks = cli.generate_sinks;
       g.die_side_um = 8000.0;
       g.seed = cli.seed;
       g.criticality_balance = 0.8;
-      return tree::make_random_tree(g);
+      loaded.emplace(tree::make_random_tree(g));
+    } else {
+      loaded.emplace(tree::load_tree(cli.tree_path));
     }
-    return tree::load_tree(cli.tree_path);
-  }();
+  } catch (const std::exception& e) {
+    std::cerr << "vabi_cli: error: " << e.what() << "\n";
+    return 2;
+  }
+  tree::routing_tree& net = *loaded;
 
   const auto lib = timing::standard_library();
   layout::bbox die = net.bounding_box();
@@ -185,18 +242,21 @@ int main(int argc, char** argv) {
     o.max_list_size = 200000;  // fail fast instead of exploding
     o.max_wall_seconds = 300.0;
   }
+  if (cli.deadline_seconds > 0.0) o.max_wall_seconds = cli.deadline_seconds;
+  o.degrade = cli.degrade;
 
-  const auto r = [&] {
+  const auto outcome = [&] {
     if (cli.threads > 1) {
       core::thread_pool pool{cli.threads};
-      return core::run_parallel_insertion(net, model, o, pool);
+      return core::solve_parallel_insertion(net, model, o, pool);
     }
-    return core::run_statistical_insertion(net, model, o);
+    return core::solve_statistical_insertion(net, model, o);
   }();
-  if (!r.ok()) {
-    std::cerr << "optimization aborted: " << r.stats.abort_reason << "\n";
-    return 2;
+  if (!outcome.ok()) {
+    std::cerr << "vabi_cli: error: " << outcome.error().message() << "\n";
+    return exit_code_for(outcome.error().code);
   }
+  const core::stat_result& r = *outcome;
 
   const auto& space = model.space();
   std::cout << "net: " << net.num_sinks() << " sinks, "
@@ -205,6 +265,10 @@ int main(int argc, char** argv) {
   std::cout << "mode " << layout::to_string(cli.mode) << ", rule "
             << core::to_string(cli.rule) << ", profile "
             << layout::to_string(cli.profile) << "\n";
+  if (r.path != core::solve_path::primary) {
+    std::cout << "degraded: answer produced by " << core::to_string(r.path)
+              << "\n";
+  }
   std::cout << "buffers: " << r.num_buffers;
   if (o.wire_width_multipliers.size() > 1) {
     std::cout << ", widened edges: " << r.wires.count_nondefault();

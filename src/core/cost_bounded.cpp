@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <new>
 #include <map>
 #include <stdexcept>
 
@@ -215,6 +216,26 @@ cost_bounded_result run_cost_bounded_insertion(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
   return result;
+}
+
+solve_outcome<cost_bounded_result> solve_cost_bounded_insertion(
+    const tree::routing_tree& tree, const cost_bounded_options& options) {
+  try {
+    tree.validate();
+  } catch (const std::exception& e) {
+    return solve_error{solve_code::invalid_tree, tree::invalid_node, e.what()};
+  }
+  try {
+    return run_cost_bounded_insertion(tree, options);
+  } catch (const std::invalid_argument& e) {
+    return solve_error{solve_code::invalid_options, tree::invalid_node,
+                       e.what()};
+  } catch (const std::bad_alloc&) {
+    return solve_error{solve_code::memory_cap, tree::invalid_node,
+                       "allocation failed"};
+  } catch (const std::exception& e) {
+    return solve_error{solve_code::internal, tree::invalid_node, e.what()};
+  }
 }
 
 }  // namespace vabi::core

@@ -35,6 +35,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <functional>
 #include <limits>
 #include <optional>
@@ -43,7 +44,9 @@
 #include <vector>
 
 #include "core/solution.hpp"
+#include "core/solve_status.hpp"
 #include "core/statistical_dp.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace vabi::core::detail {
 
@@ -140,6 +143,17 @@ class worker_arena {
     return scratch_.allocations() + block_allocs_;
   }
 
+  /// Bytes of term storage this arena currently holds (scratch chunks plus
+  /// recycled and parked sealed slabs). What stat_options::max_arena_bytes
+  /// caps; sealed slabs that migrated out with their node_list are the
+  /// consumer's, not the arena's.
+  std::size_t term_bytes() const {
+    std::size_t terms = scratch_.capacity();
+    for (const auto& b : free_blocks_) terms += b.capacity();
+    for (const auto& b : retired_) terms += b.capacity();
+    return terms * sizeof(stats::lf_term);
+  }
+
   /// Prepares the arena for a new run while keeping all recycled storage --
   /// this is what makes batch_solver's per-thread reuse across nets free.
   void begin_run() {
@@ -175,6 +189,119 @@ struct shared_budget {
   std::atomic<bool> aborted{false};
 };
 
+/// Unified budget enforcement of one DP worker: the candidate caps, the
+/// wall-clock deadline, the arena-bytes cap, cooperative cancellation, and
+/// the cross-worker abort broadcast of a parallel run. Every trip lands in
+/// dp_stats as the (aborted, abort_code, abort_node, abort_reason) tuple the
+/// typed entry points translate into a solve_error. List-size/candidate caps
+/// are checked after every merge step (over_budget); the deadline,
+/// cancellation and memory checks happen at node boundaries (begin_node) --
+/// monotonic clock, one check per node.
+struct resource_guard {
+  const stat_options& options;
+  dp_stats& dps;
+  /// Per-worker count of candidates already flushed to `shared`. Lives in
+  /// the worker's persistent state (a dp_worker is rebuilt per node task, the
+  /// flush watermark must survive across tasks).
+  std::size_t& published;
+  shared_budget* shared = nullptr;       ///< non-null in parallel mode
+  const cancel_token* cancel = nullptr;  ///< optional caller-owned stop flag
+  dp_clock::time_point t_start{};        ///< serial wall-cap reference
+  tree::node_id current_node = tree::invalid_node;
+
+  void publish() {
+    if (shared == nullptr) return;
+    shared->candidates.fetch_add(dps.candidates_created - published,
+                                 std::memory_order_relaxed);
+    published = dps.candidates_created;
+    if (dps.aborted) shared->aborted.store(true, std::memory_order_release);
+  }
+
+  /// Records a typed abort at the current node and broadcasts it. Always
+  /// returns true so call sites read `return trip(...)`.
+  bool trip(solve_code code, const char* reason) {
+    dps.aborted = true;
+    dps.abort_code = code;
+    dps.abort_node = current_node;
+    dps.abort_reason = reason;
+    publish();
+    return true;
+  }
+
+  /// Node-boundary checks: sibling abort, cancellation, deadline, arena
+  /// bytes (and their injected equivalents). True => skip this node.
+  bool begin_node(tree::node_id id, const worker_arena& arena) {
+    current_node = id;
+    if (dps.aborted) return true;
+    if (shared != nullptr && shared->aborted.load(std::memory_order_acquire)) {
+      dps.aborted = true;
+      dps.abort_code = solve_code::cancelled;
+      dps.abort_node = id;
+      dps.abort_reason = "aborted by another worker";
+      return true;
+    }
+    if (cancel != nullptr && cancel->stop_requested()) {
+      return trip(solve_code::cancelled, "cancelled by caller");
+    }
+    if (testing::should_fire(testing::fault_point::cancel_wave, id)) {
+      return trip(solve_code::cancelled, "injected mid-wave cancellation");
+    }
+    if (testing::should_fire(testing::fault_point::deadline_at_node, id)) {
+      return trip(solve_code::deadline_exceeded, "injected deadline expiry");
+    }
+    if (options.max_wall_seconds > 0.0 && wall_expired()) {
+      return trip(solve_code::deadline_exceeded,
+                  "wall clock exceeded max_wall_seconds");
+    }
+    if (options.max_arena_bytes != 0 &&
+        arena.term_bytes() > options.max_arena_bytes) {
+      return trip(solve_code::memory_cap,
+                  "worker arena exceeded max_arena_bytes");
+    }
+    return false;
+  }
+
+  bool over_budget(std::size_t list_size) {
+    if (shared != nullptr &&
+        shared->aborted.load(std::memory_order_acquire) && !dps.aborted) {
+      dps.aborted = true;
+      dps.abort_code = solve_code::cancelled;
+      dps.abort_node = current_node;
+      dps.abort_reason = "aborted by another worker";
+      return true;
+    }
+    if (options.max_list_size != 0 && list_size > options.max_list_size) {
+      return trip(solve_code::candidate_cap,
+                  "candidate list exceeded max_list_size");
+    }
+    if (options.max_candidates != 0) {
+      std::size_t total = dps.candidates_created;
+      if (shared != nullptr) {
+        // Candidates published by every worker, minus our own published share
+        // (already inside dps.candidates_created).
+        total += shared->candidates.load(std::memory_order_relaxed) - published;
+      }
+      if (total > options.max_candidates) {
+        return trip(solve_code::candidate_cap,
+                    "total candidates exceeded max_candidates");
+      }
+    }
+    if (options.max_wall_seconds > 0.0 && wall_expired()) {
+      return trip(solve_code::deadline_exceeded,
+                  "wall clock exceeded max_wall_seconds");
+    }
+    return false;
+  }
+
+ private:
+  bool wall_expired() const {
+    const auto start = shared != nullptr ? shared->t_start : t_start;
+    const double elapsed =
+        std::chrono::duration<double>(dp_clock::now() - start).count();
+    return elapsed > options.max_wall_seconds;
+  }
+};
+
 /// One worker of the DP: the key operations (wire propagation, buffering,
 /// statistical merge), pruning dispatch, and the per-node solve. Holds only
 /// references; cheap to construct per task.
@@ -187,63 +314,9 @@ struct dp_worker {
   decision_arena& arena;
   worker_arena& pool;
   dp_stats& dps;
-  /// Per-worker count of candidates already flushed to `shared`. Lives in
-  /// the worker's persistent state (a dp_worker is rebuilt per node task, the
-  /// flush watermark must survive across tasks).
-  std::size_t& published;
-  dp_clock::time_point t_start;      ///< serial wall-cap reference
-  shared_budget* shared = nullptr;   ///< non-null in parallel mode
+  resource_guard guard;
 
-  // -- resource caps --------------------------------------------------------
-
-  void publish() {
-    if (shared == nullptr) return;
-    shared->candidates.fetch_add(dps.candidates_created - published,
-                                 std::memory_order_relaxed);
-    published = dps.candidates_created;
-    if (dps.aborted) shared->aborted.store(true, std::memory_order_release);
-  }
-
-  bool over_budget(std::size_t list_size) {
-    if (shared != nullptr &&
-        shared->aborted.load(std::memory_order_acquire) && !dps.aborted) {
-      dps.aborted = true;
-      dps.abort_reason = "aborted by another worker";
-      return true;
-    }
-    if (options.max_list_size != 0 && list_size > options.max_list_size) {
-      dps.aborted = true;
-      dps.abort_reason = "candidate list exceeded max_list_size";
-      publish();
-      return true;
-    }
-    if (options.max_candidates != 0) {
-      std::size_t total = dps.candidates_created;
-      if (shared != nullptr) {
-        // Candidates published by every worker, minus our own published share
-        // (already inside dps.candidates_created).
-        total += shared->candidates.load(std::memory_order_relaxed) - published;
-      }
-      if (total > options.max_candidates) {
-        dps.aborted = true;
-        dps.abort_reason = "total candidates exceeded max_candidates";
-        publish();
-        return true;
-      }
-    }
-    if (options.max_wall_seconds > 0.0) {
-      const auto start = shared != nullptr ? shared->t_start : t_start;
-      const double elapsed =
-          std::chrono::duration<double>(dp_clock::now() - start).count();
-      if (elapsed > options.max_wall_seconds) {
-        dps.aborted = true;
-        dps.abort_reason = "wall clock exceeded max_wall_seconds";
-        publish();
-        return true;
-      }
-    }
-    return false;
-  }
+  bool over_budget(std::size_t list_size) { return guard.over_budget(list_size); }
 
   // -- key operations -------------------------------------------------------
 
@@ -421,8 +494,13 @@ struct dp_worker {
           options.selection_percentile == 0.5) {
         // Mean-rule fast path: the selection key is linear in means, so the
         // winner is found without materializing any candidate form.
+        // best_k starts at 0 (not sentinel): with finite means some k always
+        // beats -inf so selection is unchanged, and a NaN-poisoned device
+        // (all comparisons false) yields candidate 0 -- which then carries
+        // the NaN forward for check_finite to catch -- instead of an
+        // out-of-range read.
         double best_mean = -std::numeric_limits<double>::infinity();
-        std::size_t best_k = base;
+        std::size_t best_k = 0;
         for (std::size_t k = 0; k < base; ++k) {
           const double mean = list[k].rat.mean() - dv.delay.mean() -
                               type.res_ohm * list[k].load.mean();
@@ -440,7 +518,10 @@ struct dp_worker {
         for (std::size_t k = 0; k < base; ++k) {
           stat_candidate cand = buffered(list[k], id, b, dv, cap);
           const double key = rat_selection_key(cand.rat);
-          if (key > best_key) {
+          // `!best` keeps the first candidate even when its key is NaN (all
+          // comparisons false); finite keys always beat -inf, so selection is
+          // unchanged and poisoned forms survive to check_finite.
+          if (!best.has_value() || key > best_key) {
             best_key = key;
             best = std::move(cand);
           }
@@ -455,10 +536,12 @@ struct dp_worker {
   /// list is meaningless. Wraps one scratch epoch: all form math hits the
   /// worker's scratch pool, the surviving list is sealed, the pool rewinds.
   node_list solve_node(tree::node_id id, std::span<node_list> lists) {
+    if (guard.begin_node(id, pool)) return {};
     const std::size_t alloc0 =
         pool.allocations() + stats::term_heap_allocations();
     cand_list here = pool.acquire();
     solve_node_impl(id, lists, here);
+    if (!dps.aborted && options.check_nonfinite) check_finite(here);
     node_list out;
     if (!dps.aborted) {
       out = pool.seal(std::move(here));
@@ -516,7 +599,28 @@ struct dp_worker {
     }
     dps.peak_list_size = std::max(dps.peak_list_size, here.size());
     over_budget(here.size());
-    publish();
+    guard.publish();
+  }
+
+  /// Debug-mode guardrail (stat_options::check_nonfinite): scan the node's
+  /// final candidates for NaN/inf before sealing. Read-only; a hit trips the
+  /// guard with solve_code::nonfinite_value instead of letting the poison
+  /// propagate silently to the root selection.
+  void check_finite(const cand_list& list) {
+    auto finite = [](const stats::linear_form& f) {
+      if (!std::isfinite(f.nominal())) return false;
+      for (const auto& t : f.terms()) {
+        if (!std::isfinite(t.coeff)) return false;
+      }
+      return true;
+    };
+    for (const auto& c : list) {
+      if (!finite(c.load) || !finite(c.rat)) {
+        guard.trip(solve_code::nonfinite_value,
+                   "non-finite canonical form at seal point");
+        return;
+      }
+    }
   }
 
   /// Picks the winning root candidate and backtracks it into a design.
@@ -553,8 +657,43 @@ struct dp_worker {
   }
 };
 
-/// Shared option validation of the serial and parallel entry points.
+/// Shared option validation of the legacy (throwing) serial and parallel
+/// entry points.
 void validate_stat_options(const stat_options& options);
+
+/// Structured option validation of the typed entry points: nullopt when the
+/// options are valid, otherwise an invalid_options error whose detail names
+/// the offending field.
+std::optional<solve_error> check_stat_options(const stat_options& options);
+
+/// Translates an aborted run's dp_stats into its typed solve_error.
+solve_error error_from_stats(const dp_stats& stats);
+
+/// The serial DP without entry validation: shared core of the legacy shim
+/// and the typed entry point.
+stat_result run_statistical_impl(const tree::routing_tree& tree,
+                                 layout::process_model& model,
+                                 const stat_options& options,
+                                 const cancel_token* cancel);
+
+/// Last-resort evaluation of the tree with no buffers inserted
+/// (degrade_policy::best_partial): one value-semantics postorder pass over
+/// the statistical wire/merge operations. Never trips a cap and never
+/// throws for taxonomy failures.
+stat_result evaluate_unbuffered(const tree::routing_tree& tree,
+                                layout::process_model& model,
+                                const stat_options& options);
+
+/// Applies options.degrade to a failed solve: retries with the deterministic
+/// corner rule (serial engine, fresh wall budget), then -- for best_partial
+/// -- falls back to evaluate_unbuffered. Returns `err` unchanged when the
+/// policy is none, the code is not degradable (only candidate_cap,
+/// memory_cap and deadline_exceeded are), or every fallback failed too.
+solve_outcome<stat_result> degrade_or_error(const tree::routing_tree& tree,
+                                            layout::process_model& model,
+                                            const stat_options& options,
+                                            const cancel_token* cancel,
+                                            solve_error&& err);
 
 /// Builds the width menu implied by the options (single width disables
 /// sizing).

@@ -6,12 +6,15 @@
 #include <cstdlib>
 #include <deque>
 #include <latch>
+#include <limits>
 #include <mutex>
+#include <new>
 #include <stdexcept>
 #include <thread>
 
 #include "core/dp_engine.hpp"
 #include "stats/rng.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace vabi::core {
 
@@ -42,6 +45,12 @@ struct thread_pool::impl {
   /// a short timed wait, so a notify racing a sleeper going down cannot stall
   /// the pool.
   std::atomic<std::size_t> ready{0};
+  /// Tasks claimed and currently executing. The shutdown condition requires
+  /// both counters to be zero: a running task may still submit children (DAG
+  /// scheduling), so "no queued tasks" alone is not "drained" -- this is what
+  /// makes destroying the pool safe even when a wave was cancelled and its
+  /// tail of tasks is still winding down.
+  std::atomic<std::size_t> active{0};
   std::atomic<bool> stop{false};
   std::vector<std::thread> threads;
 
@@ -81,19 +90,30 @@ struct thread_pool::impl {
     std::function<void()> task;
     for (;;) {
       if (pop_local(idx, task) || pop_injected(task) || steal(idx, task)) {
+        // active must rise before ready falls: a shutdown check between the
+        // two RMWs must never observe "nothing queued, nothing running"
+        // while this task is in flight.
+        active.fetch_add(1, std::memory_order_relaxed);
         ready.fetch_sub(1, std::memory_order_relaxed);
         task();
         task = nullptr;
+        active.fetch_sub(1, std::memory_order_release);
         continue;
       }
       std::unique_lock lk(inject_mu);
       if (stop.load(std::memory_order_relaxed) &&
-          ready.load(std::memory_order_relaxed) == 0) {
+          ready.load(std::memory_order_relaxed) == 0 &&
+          active.load(std::memory_order_acquire) == 0) {
         return;
       }
+      // While stop is set but a task is still active the predicate stays
+      // false: the worker naps instead of spinning, and wakes on either new
+      // work (the running task submitted children) or the 1ms poll seeing
+      // the drain complete.
       cv.wait_for(lk, std::chrono::milliseconds(1), [&] {
-        return stop.load(std::memory_order_relaxed) ||
-               ready.load(std::memory_order_relaxed) > 0;
+        return ready.load(std::memory_order_relaxed) > 0 ||
+               (stop.load(std::memory_order_relaxed) &&
+                active.load(std::memory_order_relaxed) == 0);
       });
     }
   }
@@ -114,6 +134,9 @@ thread_pool::thread_pool(std::size_t num_threads) : impl_(new impl) {
 }
 
 thread_pool::~thread_pool() {
+  // Workers keep claiming tasks until the queues are empty AND nothing is
+  // running (a running task may submit more work), so join() below is a full
+  // drain regardless of how the last wave ended.
   impl_->stop.store(true, std::memory_order_relaxed);
   impl_->cv.notify_all();
   for (auto& t : impl_->threads) t.join();
@@ -165,8 +188,14 @@ device_cache::device_cache(const tree::routing_tree& tree,
     if (n.is_source()) continue;
     for (timing::buffer_index b = 0; b < lib_size_; ++b) {
       const auto& type = library[b];
-      devices_[static_cast<std::size_t>(id) * lib_size_ + b] =
+      layout::device_variation dv =
           model.characterize(n.location, type.cap_pf, type.delay_ps);
+      // Same injection point as the serial engine's lazy device_fn, so a
+      // poisoned (node, type) poisons both engines identically.
+      if (testing::should_fire(testing::fault_point::device_nan, id)) {
+        dv.delay += std::numeric_limits<double>::quiet_NaN();
+      }
+      devices_[static_cast<std::size_t>(id) * lib_size_ + b] = std::move(dv);
     }
   }
 }
@@ -187,6 +216,7 @@ struct parallel_run {
   const timing::wire_menu& menu;
   const device_cache& cache;
   thread_pool& pool;
+  const cancel_token* cancel;
 
   std::vector<worker_state> states;
   std::vector<detail::node_list> lists;
@@ -201,13 +231,15 @@ struct parallel_run {
 
   parallel_run(const tree::routing_tree& t, const stat_options& o,
                const stats::variation_space& sp, const timing::wire_menu& m,
-               const device_cache& c, thread_pool& p)
+               const device_cache& c, thread_pool& p,
+               const cancel_token* ct)
       : tree(t),
         options(o),
         space(sp),
         menu(m),
         cache(c),
         pool(p),
+        cancel(ct),
         states(p.size()),
         lists(t.num_nodes()),
         pending(t.num_nodes()) {
@@ -231,9 +263,8 @@ struct parallel_run {
         st.arena,
         st.mem,
         st.dps,
-        st.published,
-        {},
-        &budget};
+        detail::resource_guard{options, st.dps, st.published, &budget, cancel,
+                               {}}};
   }
 
   void fail(std::exception_ptr e) {
@@ -255,7 +286,7 @@ struct parallel_run {
         if (!states[w].dps.aborted) {
           lists[id] = std::move(here);
         } else {
-          worker.publish();
+          worker.guard.publish();
         }
       }
       if (tree.node(id).is_source() &&
@@ -306,10 +337,15 @@ struct parallel_run {
                                       st.dps.peak_list_size);
       total.allocations += st.dps.allocations;
       total.peak_terms = std::max(total.peak_terms, st.dps.peak_terms);
+      // Prefer the worker that tripped a *primary* cause over workers that
+      // merely observed the broadcast abort (code cancelled, reason
+      // "aborted by another worker").
       if (st.dps.aborted && (!total.aborted ||
                              total.abort_reason == "aborted by another worker")) {
         total.aborted = true;
         total.abort_reason = st.dps.abort_reason;
+        total.abort_code = st.dps.abort_code;
+        total.abort_node = st.dps.abort_node;
       }
     }
     if (total.aborted) {
@@ -326,15 +362,54 @@ struct parallel_run {
 
 }  // namespace
 
+namespace {
+
+stat_result run_parallel_impl(const tree::routing_tree& tree,
+                              layout::process_model& model,
+                              const stat_options& options, thread_pool& pool,
+                              const cancel_token* cancel) {
+  const timing::wire_menu menu = detail::make_wire_menu(options);
+  const device_cache cache(tree, model, options.library);
+  parallel_run run{tree, options, model.space(), menu, cache, pool, cancel};
+  return run.run();
+}
+
+}  // namespace
+
 stat_result run_parallel_insertion(const tree::routing_tree& tree,
                                    layout::process_model& model,
                                    const stat_options& options,
                                    thread_pool& pool) {
   detail::validate_stat_options(options);
-  const timing::wire_menu menu = detail::make_wire_menu(options);
-  const device_cache cache(tree, model, options.library);
-  parallel_run run{tree, options, model.space(), menu, cache, pool};
-  return run.run();
+  return run_parallel_impl(tree, model, options, pool, nullptr);
+}
+
+solve_outcome<stat_result> solve_parallel_insertion(
+    const tree::routing_tree& tree, layout::process_model& model,
+    const stat_options& options, thread_pool& pool,
+    const cancel_token* cancel) {
+  if (auto bad = detail::check_stat_options(options)) return std::move(*bad);
+  try {
+    tree.validate();
+  } catch (const std::exception& e) {
+    return solve_error{solve_code::invalid_tree, tree::invalid_node, e.what()};
+  }
+
+  solve_error err;
+  try {
+    stat_result r = run_parallel_impl(tree, model, options, pool, cancel);
+    if (!r.stats.aborted) return r;
+    err = detail::error_from_stats(r.stats);
+  } catch (const std::bad_alloc&) {
+    err = solve_error{solve_code::memory_cap, tree::invalid_node,
+                      "term storage allocation failed"};
+  } catch (const std::exception& e) {
+    err = solve_error{solve_code::internal, tree::invalid_node, e.what()};
+  }
+  // Degraded retries run serially (corner rule / unbuffered evaluation), so
+  // a fallback result is identical for any thread count.
+  return detail::degrade_or_error(tree, model, options, cancel,
+                                  std::move(err));
 }
 
 // ---------------------------------------------------------------------------
@@ -348,6 +423,49 @@ batch_solver::batch_solver(config cfg)
 
 std::size_t batch_solver::num_threads() const { return pool_.size(); }
 
+namespace {
+
+/// The net + model setup of one batch job, resolved on the worker thread.
+struct job_setup {
+  std::optional<tree::routing_tree> generated;
+  const tree::routing_tree* net = nullptr;
+  std::optional<layout::process_model> model;
+};
+
+/// Shared by both batch paths: resolves job i's net (generating from the
+/// derived per-job seed when asked) and builds its process model. Throws on
+/// an unusable job spec -- solve() forwards that, solve_outcomes captures it.
+job_setup prepare_job(const batch_job& job, std::size_t i,
+                      const std::optional<std::uint64_t>& batch_seed) {
+  if (testing::should_fire(testing::fault_point::batch_job_throw, i)) {
+    throw std::runtime_error("injected batch job failure");
+  }
+  job_setup setup;
+  setup.net = job.tree;
+  if (setup.net == nullptr) {
+    if (!job.generate.has_value()) {
+      throw std::invalid_argument(
+          "batch_job: neither tree nor generate is set");
+    }
+    tree::random_tree_options g = *job.generate;
+    if (batch_seed.has_value()) {
+      g.seed = stats::derive_seed(*batch_seed, i);
+    }
+    setup.generated.emplace(tree::make_random_tree(g));
+    setup.net = &*setup.generated;
+  }
+  layout::bbox die = job.die;
+  if (die.width() <= 0.0 || die.height() <= 0.0) {
+    die = setup.net->bounding_box();
+    die.expand({die.lo.x - 1.0, die.lo.y - 1.0});
+    die.expand({die.hi.x + 1.0, die.hi.y + 1.0});
+  }
+  setup.model.emplace(die, job.model);
+  return setup;
+}
+
+}  // namespace
+
 std::vector<batch_result> batch_solver::solve(
     const std::vector<batch_job>& jobs) {
   std::vector<std::optional<batch_result>> slots(jobs.size());
@@ -358,31 +476,12 @@ std::vector<batch_result> batch_solver::solve(
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     pool_.submit([&, i] {
       try {
-        const batch_job& job = jobs[i];
-        std::optional<tree::routing_tree> generated;
-        const tree::routing_tree* net = job.tree;
-        if (net == nullptr) {
-          if (!job.generate.has_value()) {
-            throw std::invalid_argument(
-                "batch_job: neither tree nor generate is set");
-          }
-          tree::random_tree_options g = *job.generate;
-          if (config_.batch_seed.has_value()) {
-            g.seed = stats::derive_seed(*config_.batch_seed, i);
-          }
-          generated.emplace(tree::make_random_tree(g));
-          net = &*generated;
-        }
-        layout::bbox die = job.die;
-        if (die.width() <= 0.0 || die.height() <= 0.0) {
-          die = net->bounding_box();
-          die.expand({die.lo.x - 1.0, die.lo.y - 1.0});
-          die.expand({die.hi.x + 1.0, die.hi.y + 1.0});
-        }
-        layout::process_model model{die, job.model};
-        stat_result r = run_statistical_insertion(*net, model, job.options);
-        slots[i].emplace(batch_result{std::move(r), std::move(model),
-                                      std::move(generated)});
+        job_setup setup = prepare_job(jobs[i], i, config_.batch_seed);
+        stat_result r =
+            run_statistical_insertion(*setup.net, *setup.model,
+                                      jobs[i].options);
+        slots[i].emplace(batch_result{std::move(r), std::move(*setup.model),
+                                      std::move(setup.generated)});
       } catch (...) {
         std::lock_guard lk(error_mu);
         if (!error) error = std::current_exception();
@@ -394,6 +493,54 @@ std::vector<batch_result> batch_solver::solve(
   if (error) std::rethrow_exception(error);
 
   std::vector<batch_result> out;
+  out.reserve(jobs.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+std::vector<solve_outcome<batch_result>> batch_solver::solve_outcomes(
+    const std::vector<batch_job>& jobs, const cancel_token* cancel) {
+  std::vector<std::optional<solve_outcome<batch_result>>> slots(jobs.size());
+  std::latch done{static_cast<std::ptrdiff_t>(jobs.size())};
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pool_.submit([&, i] {
+      // Everything a job can do wrong lands in its own slot: a typed error
+      // from the solver, a thrown exception from generation/model setup, or
+      // an injected fault. Nothing propagates out of the pool worker.
+      try {
+        if (cancel != nullptr && cancel->stop_requested()) {
+          slots[i].emplace(solve_error{solve_code::cancelled,
+                                       tree::invalid_node,
+                                       "cancelled before start"});
+        } else {
+          job_setup setup = prepare_job(jobs[i], i, config_.batch_seed);
+          solve_outcome<batch_result> out = [&]() -> solve_outcome<batch_result> {
+            auto solved = solve_statistical_insertion(
+                *setup.net, *setup.model, jobs[i].options, cancel);
+            if (!solved.ok()) return std::move(solved.error());
+            return batch_result{std::move(*solved), std::move(*setup.model),
+                                std::move(setup.generated)};
+          }();
+          slots[i].emplace(std::move(out));
+        }
+      } catch (const std::bad_alloc&) {
+        slots[i].emplace(solve_error{solve_code::memory_cap,
+                                     tree::invalid_node,
+                                     "allocation failed preparing job"});
+      } catch (const std::exception& e) {
+        slots[i].emplace(solve_error{solve_code::internal, tree::invalid_node,
+                                     e.what()});
+      } catch (...) {
+        slots[i].emplace(solve_error{solve_code::internal, tree::invalid_node,
+                                     "unknown exception"});
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+
+  std::vector<solve_outcome<batch_result>> out;
   out.reserve(jobs.size());
   for (auto& slot : slots) out.push_back(std::move(*slot));
   return out;

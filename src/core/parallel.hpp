@@ -46,7 +46,10 @@ namespace vabi::core {
 ///
 /// The pool has no shutdown barrier of its own: callers that need to join a
 /// wave of tasks block on a std::latch counted down by the tasks (see
-/// parallel.cpp). All tasks must have finished before the pool is destroyed.
+/// parallel.cpp). The destructor is nonetheless safe at any time: it drains
+/// every queued task and joins only once nothing is queued or running, so a
+/// cancelled/abandoned wave cannot leave a worker exiting under a task that
+/// is still submitting children.
 class thread_pool {
  public:
   /// `num_threads == 0` picks default_thread_count().
@@ -112,6 +115,16 @@ stat_result run_parallel_insertion(const tree::routing_tree& tree,
                                    const stat_options& options,
                                    thread_pool& pool);
 
+/// Typed entry point of the intra-tree parallel DP: same contract as
+/// solve_statistical_insertion (structured validation, typed resource trips,
+/// degradation policy), with `cancel` polled at node boundaries by every
+/// worker so sibling tasks stop promptly. Degraded retries run on the serial
+/// engine, keeping fallback results thread-count-invariant.
+solve_outcome<stat_result> solve_parallel_insertion(
+    const tree::routing_tree& tree, layout::process_model& model,
+    const stat_options& options, thread_pool& pool,
+    const cancel_token* cancel = nullptr);
+
 // ---------------------------------------------------------------------------
 // Batch solver.
 // ---------------------------------------------------------------------------
@@ -161,7 +174,20 @@ class batch_solver {
 
   /// Solves all jobs; blocks until the batch completes. Throws (after the
   /// batch drains) if any job threw, with the first error's message.
+  /// Legacy shim -- new code should call solve_outcomes, which never loses
+  /// the rest of the batch to one bad net.
   std::vector<batch_result> solve(const std::vector<batch_job>& jobs);
+
+  /// Per-net fault isolation: solves all jobs, capturing every failure --
+  /// typed guard trips and escaped exceptions alike -- into that job's
+  /// solve_outcome slot. Nothing a job does can take down the batch or
+  /// escape a pool worker. Outcome codes are thread-count-invariant: each
+  /// job is solved serially and independently, so slot i's outcome depends
+  /// only on job i (and the derived per-job seed), never on scheduling.
+  /// `cancel` lets a caller abandon the remainder of a batch; jobs already
+  /// started still complete.
+  std::vector<solve_outcome<batch_result>> solve_outcomes(
+      const std::vector<batch_job>& jobs, const cancel_token* cancel = nullptr);
 
   std::size_t num_threads() const;
   thread_pool& pool() { return pool_; }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/solve_status.hpp"
 #include "stats/linear_form.hpp"
 #include "timing/buffer_library.hpp"
 #include "timing/elmore.hpp"
@@ -147,6 +148,10 @@ struct dp_stats {
   double wall_seconds = 0.0;
   bool aborted = false;                ///< a resource cap fired (4P runs)
   std::string abort_reason;
+  /// Typed classification of the abort (solve_code::ok when !aborted) and
+  /// the node boundary where the guard fired (invalid_node when unknown).
+  solve_code abort_code = solve_code::ok;
+  tree::node_id abort_node = tree::invalid_node;
 };
 
 }  // namespace vabi::core

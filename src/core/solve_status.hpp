@@ -1,0 +1,145 @@
+// Structured error taxonomy for the solver stack.
+//
+// Historically each driver reported failure its own way: validation threw
+// std::invalid_argument, resource caps set a boolean dp_stats::aborted with a
+// free-text reason, and a throwing batch job took the whole batch down. For a
+// service solving thousands of nets per design, every failure mode needs a
+// *typed* result with a bounded blast radius instead. This header defines:
+//
+//   - solve_code / solve_error: the closed taxonomy of solver failures, with
+//     the tree node where the failure was detected (when one is known) and a
+//     human-readable detail string.
+//   - solve_outcome<T>: an expected-style sum of a result and a solve_error.
+//     The `solve_*` entry points of every driver (statistical_dp,
+//     van_ginneken, cost_bounded, parallel, batch_solver) return one of these
+//     and never throw; the legacy throwing/flag-setting `run_*` entry points
+//     remain as thin shims for existing callers.
+//   - cancel_token: a cooperative cancellation flag callers can pass into the
+//     drivers; workers poll it at node boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include <atomic>
+
+#include "tree/routing_tree.hpp"
+
+namespace vabi::core {
+
+/// Why a solve failed. Codes are stable across threads and runs: the same
+/// input with the same caps yields the same code regardless of scheduling.
+enum class solve_code : std::uint8_t {
+  ok,                 ///< not an error (never stored in a solve_error)
+  candidate_cap,      ///< max_list_size / max_candidates exceeded
+  deadline_exceeded,  ///< wall-clock deadline passed at a node boundary
+  memory_cap,         ///< arena-bytes cap exceeded or allocation failed
+  nonfinite_value,    ///< NaN/inf detected in a canonical form at a seal point
+  invalid_options,    ///< option validation failed (detail names the field)
+  invalid_tree,       ///< the routing tree failed structural validation
+  cancelled,          ///< a cancel_token was triggered (or a sibling aborted)
+  internal,           ///< unexpected exception escaping the engine
+};
+
+inline const char* to_string(solve_code code) {
+  switch (code) {
+    case solve_code::ok:
+      return "ok";
+    case solve_code::candidate_cap:
+      return "candidate_cap";
+    case solve_code::deadline_exceeded:
+      return "deadline_exceeded";
+    case solve_code::memory_cap:
+      return "memory_cap";
+    case solve_code::nonfinite_value:
+      return "nonfinite_value";
+    case solve_code::invalid_options:
+      return "invalid_options";
+    case solve_code::invalid_tree:
+      return "invalid_tree";
+    case solve_code::cancelled:
+      return "cancelled";
+    case solve_code::internal:
+      return "internal";
+  }
+  return "?";
+}
+
+/// One typed solver failure: what went wrong, where (when a node is known),
+/// and a detail string for humans/logs. `node` is the tree node at which the
+/// failure was *detected* — for deadline/cap trips that is the node boundary
+/// where the guard fired, not necessarily where the budget was consumed.
+struct solve_error {
+  solve_code code = solve_code::internal;
+  tree::node_id node = tree::invalid_node;
+  std::string detail;
+
+  /// "deadline_exceeded at node 17: wall clock exceeded max_wall_seconds"
+  std::string message() const {
+    std::string out = to_string(code);
+    if (node != tree::invalid_node) {
+      out += " at node ";
+      out += std::to_string(node);
+    }
+    if (!detail.empty()) {
+      out += ": ";
+      out += detail;
+    }
+    return out;
+  }
+};
+
+/// Expected-style result: either a T or a solve_error. Drivers returning a
+/// solve_outcome never throw for failures in the taxonomy above.
+template <class T>
+class solve_outcome {
+ public:
+  solve_outcome(T value) : state_(std::move(value)) {}             // NOLINT
+  solve_outcome(solve_error error) : state_(std::move(error)) {}   // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  /// The error code; solve_code::ok when the outcome holds a value.
+  solve_code code() const {
+    return ok() ? solve_code::ok : std::get<solve_error>(state_).code;
+  }
+
+  T& value() & { return std::get<T>(state_); }
+  const T& value() const& { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  solve_error& error() & { return std::get<solve_error>(state_); }
+  const solve_error& error() const& { return std::get<solve_error>(state_); }
+
+ private:
+  std::variant<T, solve_error> state_;
+};
+
+/// Cooperative cancellation flag. A caller arms it (request_stop) from any
+/// thread; workers poll stop_requested() at node boundaries and wind down
+/// with solve_code::cancelled. Reusable after reset().
+class cancel_token {
+ public:
+  cancel_token() = default;
+  cancel_token(const cancel_token&) = delete;
+  cancel_token& operator=(const cancel_token&) = delete;
+
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { stop_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace vabi::core

@@ -25,6 +25,7 @@
 
 #include "core/pruning.hpp"
 #include "core/solution.hpp"
+#include "core/solve_status.hpp"
 #include "layout/process_model.hpp"
 #include "stats/linear_form.hpp"
 #include "timing/buffer_library.hpp"
@@ -42,6 +43,25 @@ enum class pruning_kind : std::uint8_t {
 };
 
 const char* to_string(pruning_kind kind);
+
+/// What to do when a statistical run trips a resource cap or deadline.
+enum class degrade_policy : std::uint8_t {
+  none,                ///< report the typed error, no fallback
+  retry_deterministic, ///< retry the net once with the linear corner rule
+  best_partial,        ///< retry_deterministic, then an unbuffered evaluation
+                       ///< of the tree as the last resort (never fails)
+};
+
+/// Which path produced a stat_result (reported so callers can tell a clean
+/// solve from a degraded one).
+enum class solve_path : std::uint8_t {
+  primary,             ///< the requested rule completed
+  corner_fallback,     ///< degraded retry with the corner rule
+  unbuffered_fallback, ///< best_partial: tree evaluated with no buffers
+};
+
+const char* to_string(degrade_policy policy);
+const char* to_string(solve_path path);
 
 struct stat_options {
   timing::wire_model wire;
@@ -88,6 +108,25 @@ struct stat_options {
   std::size_t max_list_size = 0;
   std::size_t max_candidates = 0;
   double max_wall_seconds = 0.0;
+  /// Cap on one worker's recycled term storage (scratch pool + pooled sealed
+  /// slabs), checked at node boundaries. Per *worker*, not per run: a
+  /// parallel run may hold up to num_threads times this. 0 = unlimited.
+  std::size_t max_arena_bytes = 0;
+
+  /// Scan every sealed candidate list for NaN/inf (nominals and
+  /// coefficients); a hit aborts with solve_code::nonfinite_value instead of
+  /// silently propagating garbage to the root. Reads only -- results are
+  /// bit-identical either way. On by default in debug builds.
+#ifdef NDEBUG
+  bool check_nonfinite = false;
+#else
+  bool check_nonfinite = true;
+#endif
+
+  /// Fallback behavior when a cap/deadline/memory trip aborts the run (only
+  /// consulted by the solve_* entry points; the legacy run_* shims always
+  /// report the abort as-is).
+  degrade_policy degrade = degrade_policy::none;
 };
 
 struct stat_result {
@@ -97,6 +136,8 @@ struct stat_result {
   timing::wire_assignment wires;  ///< meaningful when sizing is enabled
   std::size_t num_buffers = 0;
   dp_stats stats;
+  /// Which path produced this result (primary unless a degrade policy fired).
+  solve_path path = solve_path::primary;
 
   bool ok() const { return !stats.aborted; }
 };
@@ -104,8 +145,21 @@ struct stat_result {
 /// Runs the variation-aware DP. `model` supplies (and accumulates) the
 /// variation sources: one private random source is registered per evaluated
 /// (node, buffer type) device, shared by every candidate that buffers there.
+///
+/// Legacy shim: throws std::invalid_argument / std::logic_error on bad
+/// inputs and reports resource trips only through result.stats.aborted.
+/// New code should call solve_statistical_insertion.
 stat_result run_statistical_insertion(const tree::routing_tree& tree,
                                       layout::process_model& model,
                                       const stat_options& options);
+
+/// Typed entry point: never throws for failures in the solve_code taxonomy.
+/// Validates options (naming the offending field) and the tree, classifies
+/// resource trips, honors `cancel` at node boundaries, and applies
+/// options.degrade on cap/deadline/memory failures (the returned result's
+/// `path` says which engine produced it).
+solve_outcome<stat_result> solve_statistical_insertion(
+    const tree::routing_tree& tree, layout::process_model& model,
+    const stat_options& options, const cancel_token* cancel = nullptr);
 
 }  // namespace vabi::core

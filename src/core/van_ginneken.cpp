@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <new>
 #include <stdexcept>
 #include <vector>
 
@@ -172,6 +173,26 @@ det_result run_van_ginneken(const tree::routing_tree& tree,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
   return result;
+}
+
+solve_outcome<det_result> solve_van_ginneken(const tree::routing_tree& tree,
+                                             const det_options& options) {
+  try {
+    tree.validate();
+  } catch (const std::exception& e) {
+    return solve_error{solve_code::invalid_tree, tree::invalid_node, e.what()};
+  }
+  try {
+    return run_van_ginneken(tree, options);
+  } catch (const std::invalid_argument& e) {
+    return solve_error{solve_code::invalid_options, tree::invalid_node,
+                       e.what()};
+  } catch (const std::bad_alloc&) {
+    return solve_error{solve_code::memory_cap, tree::invalid_node,
+                       "allocation failed"};
+  } catch (const std::exception& e) {
+    return solve_error{solve_code::internal, tree::invalid_node, e.what()};
+  }
 }
 
 }  // namespace vabi::core

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/solution.hpp"
+#include "core/solve_status.hpp"
 #include "timing/buffer_library.hpp"
 #include "timing/elmore.hpp"
 #include "timing/wire_model.hpp"
@@ -38,7 +39,15 @@ struct det_result {
   dp_stats stats;
 };
 
+/// Legacy shim: throws std::invalid_argument on bad options and
+/// std::logic_error on structural failures. New code should call
+/// solve_van_ginneken.
 det_result run_van_ginneken(const tree::routing_tree& tree,
                             const det_options& options);
+
+/// Typed entry point: validates the tree and options and maps every failure
+/// into the solve_code taxonomy instead of throwing.
+solve_outcome<det_result> solve_van_ginneken(const tree::routing_tree& tree,
+                                             const det_options& options);
 
 }  // namespace vabi::core

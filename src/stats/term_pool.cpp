@@ -1,13 +1,18 @@
 #include "stats/term_pool.hpp"
 
 #include <algorithm>
+#include <new>
 
 #include "stats/linear_form.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace vabi::stats {
 
 lf_term* term_pool::allocate(std::size_t n) {
   if (n == 0) return nullptr;
+  if (testing::should_fire(testing::fault_point::term_pool_alloc)) {
+    throw std::bad_alloc{};
+  }
   // Bump semantics: a chunk whose tail is too small is skipped for the rest
   // of the epoch (reset() makes the space usable again).
   while (chunk_idx_ < chunks_.size() &&

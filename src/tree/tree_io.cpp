@@ -1,9 +1,12 @@
 #include "tree/tree_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace vabi::tree {
 
@@ -12,6 +15,36 @@ namespace {
 [[noreturn]] void parse_error(std::size_t line, const std::string& what) {
   throw std::runtime_error("tree_io: line " + std::to_string(line) + ": " +
                            what);
+}
+
+/// Rejects inf/NaN in any numeric field at parse time: a single non-finite
+/// wire length or sink cap would otherwise poison every canonical form it
+/// touches and surface only as a nonfinite_value abort deep inside a solve.
+void require_finite(std::size_t line, const char* field, double value) {
+  if (!std::isfinite(value)) {
+    parse_error(line, std::string("non-finite ") + field);
+  }
+}
+
+/// Reads one double field. Stream extraction silently rejects "inf" / "nan"
+/// tokens and overflow literals like 1e999 as generic parse failures; going
+/// through std::stod instead lets require_finite reject them with the field's
+/// name. False = no token / not a number (the caller picks the message).
+bool read_double(std::istream& ls, double& out) {
+  std::string tok;
+  if (!(ls >> tok)) return false;
+  try {
+    std::size_t used = 0;
+    out = std::stod(tok, &used);
+    if (used != tok.size()) return false;
+  } catch (const std::out_of_range&) {
+    // Overflowed literal: surface it as the non-finite value it denotes.
+    out = tok.front() == '-' ? -std::numeric_limits<double>::infinity()
+                             : std::numeric_limits<double>::infinity();
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -73,9 +106,11 @@ routing_tree read_tree(std::istream& is) {
     std::string kind;
     double x = 0.0;
     double y = 0.0;
-    if (!(ls >> id >> kind >> x >> y)) {
+    if (!(ls >> id >> kind) || !read_double(ls, x) || !read_double(ls, y)) {
       parse_error(line_no, "malformed node line");
     }
+    require_finite(line_no, "x coordinate", x);
+    require_finite(line_no, "y coordinate", y);
     if (id != i) parse_error(line_no, "node ids must be dense and in order");
     if (kind == "source") {
       if (i != 0) parse_error(line_no, "source must be node 0");
@@ -86,21 +121,38 @@ routing_tree read_tree(std::istream& is) {
     if (!seen_source) parse_error(line_no, "first node must be the source");
     node_id parent = 0;
     double wire = 0.0;
-    if (!(ls >> parent >> wire)) {
+    if (!(ls >> parent) || !read_double(ls, wire)) {
       parse_error(line_no, "missing parent / wire length");
     }
-    if (kind == "steiner") {
-      tree.add_steiner(parent, {x, y}, wire);
-    } else if (kind == "sink") {
-      double cap = 0.0;
-      double rat = 0.0;
-      if (!(ls >> cap >> rat)) parse_error(line_no, "missing sink cap / rat");
-      tree.add_sink(parent, {x, y}, cap, rat, wire);
-    } else {
-      parse_error(line_no, "unknown node kind '" + kind + "'");
+    require_finite(line_no, "wire length", wire);
+    // Structural rejections from the tree builder (dangling parent, negative
+    // wire, ...) become parse errors carrying the offending line.
+    try {
+      if (kind == "steiner") {
+        tree.add_steiner(parent, {x, y}, wire);
+      } else if (kind == "sink") {
+        double cap = 0.0;
+        double rat = 0.0;
+        if (!read_double(ls, cap) || !read_double(ls, rat)) {
+          parse_error(line_no, "missing sink cap / rat");
+        }
+        require_finite(line_no, "sink cap", cap);
+        require_finite(line_no, "sink rat", rat);
+        tree.add_sink(parent, {x, y}, cap, rat, wire);
+      } else {
+        parse_error(line_no, "unknown node kind '" + kind + "'");
+      }
+    } catch (const std::runtime_error&) {
+      throw;  // already a parse_error with a line number
+    } catch (const std::exception& e) {
+      parse_error(line_no, e.what());
     }
   }
-  tree.validate();
+  try {
+    tree.validate();
+  } catch (const std::exception& e) {
+    parse_error(line_no, e.what());
+  }
   return tree;
 }
 

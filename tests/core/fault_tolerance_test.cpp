@@ -1,0 +1,412 @@
+// Guardrail behavior under injected faults (src/testing/fault_injection.hpp).
+//
+// Every failure mode the solver stack promises to contain -- pool
+// exhaustion, NaN-poisoned device fits, deadlines (real and injected),
+// cancellation, throwing batch jobs -- is provoked deterministically here
+// and must come back as a typed solve_error with a bounded blast radius:
+// sibling jobs keep their results, a disarmed re-solve is bit-identical,
+// and per-net outcome codes are thread-count-invariant.
+//
+// CI runs this suite across a VABI_FAULT_SPEC="seed=K" matrix (see
+// .github/workflows/ci.yml); vabi::testing::env_seed() feeds that seed into
+// the trigger ordinals and node selectors below, so each matrix entry
+// exercises different injection sites with the same binary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/statistical_dp.hpp"
+#include "testing/fault_injection.hpp"
+#include "tree/generators.hpp"
+
+namespace vabi::core {
+namespace {
+
+namespace fi = vabi::testing;
+
+layout::bbox padded_die(const tree::routing_tree& t) {
+  layout::bbox die = t.bounding_box();
+  die.expand({die.lo.x - 1.0, die.lo.y - 1.0});
+  die.expand({die.hi.x + 1.0, die.hi.y + 1.0});
+  return die;
+}
+
+layout::process_model make_model(const tree::routing_tree& t) {
+  layout::process_model_config c;
+  c.mode = layout::wid_mode();
+  return layout::process_model{padded_die(t), c};
+}
+
+tree::routing_tree make_net(std::size_t sinks, std::uint64_t seed) {
+  tree::random_tree_options o;
+  o.num_sinks = sinks;
+  o.seed = seed;
+  o.criticality_balance = 0.5;
+  return tree::make_random_tree(o);
+}
+
+stat_options base_options(pruning_kind rule = pruning_kind::two_param) {
+  stat_options o;
+  o.library = timing::standard_library();
+  o.driver_res_ohm = 150.0;
+  o.rule = rule;
+  o.root_percentile = 0.05;
+  return o;
+}
+
+void expect_identical(const stat_result& a, const stat_result& b) {
+  ASSERT_EQ(a.ok(), b.ok());
+  EXPECT_EQ(a.root_rat, b.root_rat);  // exact canonical forms, same ids
+  EXPECT_EQ(a.num_buffers, b.num_buffers);
+  ASSERT_EQ(a.assignment.num_nodes(), b.assignment.num_nodes());
+  for (std::size_t i = 0; i < a.assignment.num_nodes(); ++i) {
+    const auto id = static_cast<tree::node_id>(i);
+    ASSERT_EQ(a.assignment.has_buffer(id), b.assignment.has_buffer(id));
+    if (a.assignment.has_buffer(id)) {
+      EXPECT_EQ(a.assignment.buffer(id), b.assignment.buffer(id));
+    }
+  }
+  EXPECT_EQ(a.stats.candidates_created, b.stats.candidates_created);
+}
+
+/// Disarms every injection point after each test, so a failing assertion
+/// can never leak an armed fault into the rest of the suite.
+class FaultTolerance : public ::testing::Test {
+ protected:
+  void TearDown() override { fi::disarm(); }
+
+  /// CI seed (1 outside the matrix): varies trigger ordinals / node
+  /// selectors across matrix entries without changing what is asserted.
+  const std::uint64_t seed_ = fi::env_seed();
+};
+
+// ---------------------------------------------------------------------------
+// Spec parsing.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTolerance, SpecParsing) {
+  const auto cfg =
+      fi::parse_fault_spec("term_pool_alloc:after=40;device_nan:node=7;seed=3");
+  ASSERT_EQ(cfg.specs.size(), 2u);
+  EXPECT_EQ(cfg.specs[0].point, fi::fault_point::term_pool_alloc);
+  EXPECT_EQ(cfg.specs[0].after, 40u);
+  EXPECT_EQ(cfg.specs[0].id, fi::any_id);
+  EXPECT_EQ(cfg.specs[1].point, fi::fault_point::device_nan);
+  EXPECT_EQ(cfg.specs[1].id, 7u);
+  EXPECT_EQ(cfg.seed, 3u);
+
+  EXPECT_EQ(fi::parse_fault_spec("batch_job_throw:job=2").specs[0].id, 2u);
+  EXPECT_THROW(fi::parse_fault_spec("no_such_point"), std::invalid_argument);
+  EXPECT_THROW(fi::parse_fault_spec("device_nan:node=x"),
+               std::invalid_argument);
+  EXPECT_THROW(fi::parse_fault_spec("device_nan:frob=1"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Typed failures from injected faults (serial engine).
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTolerance, PoolExhaustionYieldsMemoryCap) {
+  const auto net = make_net(24, 100 + seed_);
+  const auto opt = base_options();
+
+  auto ref_model = make_model(net);
+  const auto ref = solve_statistical_insertion(net, ref_model, opt);
+  ASSERT_TRUE(ref.ok()) << ref.error().message();
+
+  fi::arm("term_pool_alloc:after=" + std::to_string(10 + 7 * seed_));
+  auto poisoned_model = make_model(net);
+  const auto failed = solve_statistical_insertion(net, poisoned_model, opt);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, solve_code::memory_cap);
+  EXPECT_GE(fi::fired_count(fi::fault_point::term_pool_alloc), 1u);
+
+  // The fault's blast radius ends with the failed call: a disarmed re-solve
+  // on the same thread (same recycled thread-local arena) is bit-identical
+  // to a never-faulted run.
+  fi::disarm();
+  auto clean_model = make_model(net);
+  const auto again = solve_statistical_insertion(net, clean_model, opt);
+  ASSERT_TRUE(again.ok()) << again.error().message();
+  expect_identical(*ref, *again);
+}
+
+TEST_F(FaultTolerance, NanPoisonedDeviceTripsNonfiniteCheck) {
+  const auto net = make_net(16, 3);
+  auto opt = base_options();
+  opt.check_nonfinite = true;  // release builds default it off
+
+  const auto node = static_cast<tree::node_id>(1 + seed_ % 5);
+  fi::arm("device_nan:node=" + std::to_string(node));
+  auto model = make_model(net);
+  const auto out = solve_statistical_insertion(net, model, opt);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, solve_code::nonfinite_value);
+  EXPECT_EQ(out.error().node, node);  // caught at the seal of the poisoned node
+  EXPECT_GE(fi::fired_count(fi::fault_point::device_nan), 1u);
+}
+
+TEST_F(FaultTolerance, InjectedDeadlineReportsTrippingNode) {
+  const auto net = make_net(20, 9);
+  const auto node = static_cast<tree::node_id>(1 + seed_ % 7);
+  fi::arm("deadline_at_node:node=" + std::to_string(node));
+  auto model = make_model(net);
+  const auto out = solve_statistical_insertion(net, model, base_options());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, solve_code::deadline_exceeded);
+  EXPECT_EQ(out.error().node, node);
+  EXPECT_NE(out.error().detail.find("injected"), std::string::npos);
+}
+
+TEST_F(FaultTolerance, RealDeadlineYieldsTypedError) {
+  const auto net = make_net(40, 21);
+  auto opt = base_options();
+  opt.max_wall_seconds = 1e-9;  // expired by the first node boundary
+  auto model = make_model(net);
+  const auto out = solve_statistical_insertion(net, model, opt);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, solve_code::deadline_exceeded);
+  EXPECT_NE(out.error().detail.find("max_wall_seconds"), std::string::npos);
+}
+
+TEST_F(FaultTolerance, ExternalCancelTokenStopsTheSolve) {
+  const auto net = make_net(30, 5);
+  cancel_token cancel;
+  cancel.request_stop();
+  auto model = make_model(net);
+  const auto out =
+      solve_statistical_insertion(net, model, base_options(), &cancel);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, solve_code::cancelled);
+}
+
+TEST_F(FaultTolerance, ArenaBytesCapYieldsMemoryCap) {
+  const auto net = make_net(60, 13);
+  auto opt = base_options();
+  opt.max_arena_bytes = 1;  // any recycled term storage trips it
+  auto model = make_model(net);
+  const auto out = solve_statistical_insertion(net, model, opt);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, solve_code::memory_cap);
+  EXPECT_NE(out.error().detail.find("max_arena_bytes"), std::string::npos);
+}
+
+TEST_F(FaultTolerance, MidWaveCancellationStopsSiblingWorkers) {
+  const auto net = make_net(80, 17);
+  const auto node = static_cast<tree::node_id>(2 + seed_ % 9);
+  fi::arm("cancel_wave:node=" + std::to_string(node));
+  thread_pool pool{4};
+  auto model = make_model(net);
+  const auto out =
+      solve_parallel_insertion(net, model, base_options(), pool);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, solve_code::cancelled);
+  EXPECT_GE(fi::fired_count(fi::fault_point::cancel_wave), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Structured validation.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTolerance, InvalidOptionsNameTheOffendingField) {
+  const auto net = make_net(8, 1);
+  auto model = make_model(net);
+
+  auto opt = base_options();
+  opt.root_percentile = 1.5;
+  auto out = solve_statistical_insertion(net, model, opt);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, solve_code::invalid_options);
+  EXPECT_NE(out.error().detail.find("root_percentile"), std::string::npos);
+
+  opt = base_options();
+  opt.library = {};
+  out = solve_statistical_insertion(net, model, opt);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, solve_code::invalid_options);
+  EXPECT_NE(out.error().detail.find("library"), std::string::npos);
+}
+
+TEST_F(FaultTolerance, InvalidTreeIsTypedNotThrown) {
+  const tree::routing_tree sinkless{{0.0, 0.0}};
+  auto model = make_model(sinkless);
+  const auto out =
+      solve_statistical_insertion(sinkless, model, base_options());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, solve_code::invalid_tree);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTolerance, RetryDeterministicFallsBackToCornerRule) {
+  // 4P's cross-product merge blows through a small list cap on this net; the
+  // linear corner rule fits comfortably, so the retry must rescue the run.
+  const auto net = make_net(24, 31);
+  auto opt = base_options(pruning_kind::four_param);
+  opt.max_list_size = 64;
+  opt.degrade = degrade_policy::retry_deterministic;
+
+  auto model = make_model(net);
+  const auto out = solve_statistical_insertion(net, model, opt);
+  ASSERT_TRUE(out.ok()) << out.error().message();
+  EXPECT_EQ(out->path, solve_path::corner_fallback);
+  EXPECT_GT(out->num_buffers, 0u);
+
+  // Without the policy the same run is a typed candidate_cap failure.
+  opt.degrade = degrade_policy::none;
+  auto model2 = make_model(net);
+  const auto failed = solve_statistical_insertion(net, model2, opt);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, solve_code::candidate_cap);
+}
+
+TEST_F(FaultTolerance, BestPartialNeverFails) {
+  // max_candidates = 1 defeats the primary rule *and* the corner retry; the
+  // unbuffered evaluation is the last resort and cannot trip a cap.
+  const auto net = make_net(20, 41);
+  auto opt = base_options();
+  opt.max_candidates = 1;
+  opt.degrade = degrade_policy::best_partial;
+
+  auto model = make_model(net);
+  const auto out = solve_statistical_insertion(net, model, opt);
+  ASSERT_TRUE(out.ok()) << out.error().message();
+  EXPECT_EQ(out->path, solve_path::unbuffered_fallback);
+  EXPECT_EQ(out->num_buffers, 0u);
+  EXPECT_TRUE(std::isfinite(out->root_rat.mean()));
+}
+
+TEST_F(FaultTolerance, DegradedParallelRunsAreThreadCountInvariant) {
+  // Degraded retries run on the serial engine, so a parallel caller gets the
+  // same fallback answer at any thread count.
+  const auto net = make_net(24, 31);
+  auto opt = base_options(pruning_kind::four_param);
+  opt.max_list_size = 64;
+  opt.degrade = degrade_policy::retry_deterministic;
+
+  std::optional<stat_result> first;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(::testing::Message() << threads << " threads");
+    thread_pool pool{threads};
+    auto model = make_model(net);
+    const auto out = solve_parallel_insertion(net, model, opt, pool);
+    ASSERT_TRUE(out.ok()) << out.error().message();
+    EXPECT_EQ(out->path, solve_path::corner_fallback);
+    if (!first.has_value()) {
+      first = *out;
+    } else {
+      expect_identical(*first, *out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-net fault isolation in the batch solver.
+// ---------------------------------------------------------------------------
+
+batch_job generated_job(std::size_t sinks) {
+  batch_job job;
+  tree::random_tree_options g;
+  g.num_sinks = sinks;
+  g.criticality_balance = 0.5;
+  job.generate = g;
+  job.options = base_options();
+  return job;
+}
+
+TEST_F(FaultTolerance, BatchIsolatesAThrowingJob) {
+  std::vector<batch_job> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(generated_job(30));
+
+  batch_solver::config cfg;
+  cfg.num_threads = 4;
+  cfg.batch_seed = 77;
+
+  batch_solver reference{cfg};
+  const auto clean = reference.solve_outcomes(jobs);
+  ASSERT_EQ(clean.size(), jobs.size());
+  for (const auto& slot : clean) ASSERT_TRUE(slot.ok());
+
+  const std::size_t victim = seed_ % jobs.size();
+  fi::arm("batch_job_throw:job=" + std::to_string(victim));
+  batch_solver faulted{cfg};
+  const auto outcomes = faulted.solve_outcomes(jobs);
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "job " << i);
+    if (i == victim) {
+      ASSERT_FALSE(outcomes[i].ok());
+      EXPECT_EQ(outcomes[i].error().code, solve_code::internal);
+      EXPECT_NE(outcomes[i].error().detail.find("injected"),
+                std::string::npos);
+    } else {
+      // The sibling jobs' results are untouched by the faulted slot.
+      ASSERT_TRUE(outcomes[i].ok());
+      expect_identical(clean[i]->result, outcomes[i]->result);
+    }
+  }
+}
+
+TEST_F(FaultTolerance, BatchPerNetStatusesAreThreadCountInvariant) {
+  // One healthy job, one deadline trip, one candidate-cap trip, one rescued
+  // by best_partial: the per-slot codes and paths must not depend on the
+  // worker count, and healthy slots must stay bit-identical.
+  std::vector<batch_job> jobs;
+  jobs.push_back(generated_job(30));
+  jobs.push_back(generated_job(30));
+  jobs[1].options.max_wall_seconds = 1e-9;
+  jobs.push_back(generated_job(30));
+  jobs[2].options.max_candidates = 40;
+  jobs.push_back(generated_job(30));
+  jobs[3].options.max_candidates = 1;
+  jobs[3].options.degrade = degrade_policy::best_partial;
+
+  std::vector<std::vector<solve_outcome<batch_result>>> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    batch_solver::config cfg;
+    cfg.num_threads = threads;
+    cfg.batch_seed = 99;
+    batch_solver solver{cfg};
+    runs.push_back(solver.solve_outcomes(jobs));
+  }
+
+  for (const auto& run : runs) {
+    ASSERT_EQ(run.size(), jobs.size());
+    EXPECT_TRUE(run[0].ok());
+    ASSERT_FALSE(run[1].ok());
+    EXPECT_EQ(run[1].error().code, solve_code::deadline_exceeded);
+    ASSERT_FALSE(run[2].ok());
+    EXPECT_EQ(run[2].error().code, solve_code::candidate_cap);
+    ASSERT_TRUE(run[3].ok());
+    EXPECT_EQ(run[3]->result.path, solve_path::unbuffered_fallback);
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    SCOPED_TRACE(::testing::Message() << "thread config " << r);
+    expect_identical(runs[0][0]->result, runs[r][0]->result);
+    expect_identical(runs[0][3]->result, runs[r][3]->result);
+  }
+}
+
+TEST_F(FaultTolerance, BatchCancellationMarksUnstartedJobs) {
+  std::vector<batch_job> jobs;
+  for (int i = 0; i < 3; ++i) jobs.push_back(generated_job(20));
+
+  cancel_token cancel;
+  cancel.request_stop();  // before the batch starts: fully deterministic
+  batch_solver solver{batch_solver::config{2, 5}};
+  const auto outcomes = solver.solve_outcomes(jobs, &cancel);
+  ASSERT_EQ(outcomes.size(), jobs.size());
+  for (const auto& slot : outcomes) {
+    ASSERT_FALSE(slot.ok());
+    EXPECT_EQ(slot.error().code, solve_code::cancelled);
+  }
+}
+
+}  // namespace
+}  // namespace vabi::core

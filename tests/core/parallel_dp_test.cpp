@@ -312,6 +312,30 @@ TEST(ThreadPool, NestedSubmissionFromWorkers) {
   EXPECT_EQ(count.load(), 2 * n);
 }
 
+TEST(ThreadPool, DestructorDrainsNestedSubmissions) {
+  // Regression test for the shutdown drain hazard: destroying the pool while
+  // tasks are queued -- and while running tasks are still submitting
+  // children -- must execute every task before the workers join. Before the
+  // `active` counter a worker could observe stop && ready == 0 and exit
+  // while a peer's in-flight task was about to submit a child, losing it (a
+  // data race TSan flags; CI runs this suite under TSan).
+  constexpr int n = 64;
+  std::atomic<int> count{0};
+  {
+    thread_pool pool(4);
+    for (int i = 0; i < n; ++i) {
+      pool.submit([&count, &pool] {
+        count.fetch_add(1, std::memory_order_relaxed);
+        pool.submit([&count] {
+          count.fetch_add(1, std::memory_order_relaxed);
+        });
+      });
+    }
+    // No latch: the destructor is the only synchronization.
+  }
+  EXPECT_EQ(count.load(), 2 * n);
+}
+
 TEST(DeriveSeed, StreamsAreDistinctAndStable) {
   EXPECT_EQ(stats::derive_seed(99, 0), stats::derive_seed(99, 0));
   EXPECT_NE(stats::derive_seed(99, 0), stats::derive_seed(99, 1));

@@ -1,0 +1,129 @@
+// Malformed-input corpus for the tree_io parser.
+//
+// Every rejection must be a std::runtime_error whose message starts with
+// "tree_io: line N:" and carries a fragment naming what was wrong -- the
+// parser is the first guardrail of the solver stack (see DESIGN.md,
+// "Failure handling & guardrails"): a non-finite sink cap or a dangling
+// parent caught here is one line of context for the user instead of a
+// nonfinite_value / invalid_tree abort deep inside a solve.
+#include "tree/tree_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace vabi::tree {
+namespace {
+
+constexpr const char* good =
+    "vabi-tree v1\n"
+    "nodes 4\n"
+    "0 source 0 0\n"
+    "1 steiner 10 0 0 10\n"
+    "2 sink 20 0 1 10 0.05 400\n"
+    "3 sink 10 10 1 10 0.03 500\n";
+
+struct bad_case {
+  const char* name;
+  std::string text;
+  const char* fragment;  ///< must appear in the error message
+  std::size_t line;      ///< line number the error must cite
+};
+
+std::string replace_line(std::size_t line_no, const std::string& repl) {
+  std::string out;
+  std::string text = good;
+  std::size_t line = 1;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t end = text.find('\n', pos);
+    if (line == line_no) {
+      out += repl;
+    } else {
+      out += text.substr(pos, end - pos);
+    }
+    out += '\n';
+    pos = end + 1;
+    ++line;
+  }
+  return out;
+}
+
+std::string truncate_after(std::size_t lines) {
+  std::string text = good;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < lines; ++i) pos = text.find('\n', pos) + 1;
+  return text.substr(0, pos);
+}
+
+const bad_case corpus[] = {
+    {"WrongHeader", replace_line(1, "vabi-tree v9"),
+     "expected header", 1},
+    {"MissingNodesLine", "vabi-tree v1\n", "nodes <count>", 1},
+    {"ZeroNodeCount", replace_line(2, "nodes 0"), "nodes <count>", 2},
+    {"GarbageNodeCount", replace_line(2, "nodes many"), "nodes <count>", 2},
+    {"MalformedNodeLine", replace_line(3, "0 source"),
+     "malformed node line", 3},
+    {"NonDenseIds", replace_line(4, "7 steiner 10 0 0 10"),
+     "dense and in order", 4},
+    {"SourceNotFirst", replace_line(3, "0 steiner 0 0 0 0"),
+     "first node must be the source", 3},
+    {"SecondSource", replace_line(4, "1 source 10 0"),
+     "source must be node 0", 4},
+    {"UnknownKind", replace_line(4, "1 widget 10 0 0 10"),
+     "unknown node kind", 4},
+    {"NonFiniteX", replace_line(4, "1 steiner inf 0 0 10"),
+     "non-finite x coordinate", 4},
+    {"NonFiniteY", replace_line(5, "2 sink 20 nan 1 10 0.05 400"),
+     "non-finite y coordinate", 5},
+    {"NonFiniteWire", replace_line(4, "1 steiner 10 0 0 inf"),
+     "non-finite wire length", 4},
+    {"NonFiniteSinkCap", replace_line(5, "2 sink 20 0 1 10 nan 400"),
+     "non-finite sink cap", 5},
+    {"NonFiniteSinkRat", replace_line(6, "3 sink 10 10 1 10 0.03 -inf"),
+     "non-finite sink rat", 6},
+    {"MissingParentWire", replace_line(4, "1 steiner 10 0"),
+     "missing parent / wire length", 4},
+    {"MissingSinkFields", replace_line(5, "2 sink 20 0 1 10"),
+     "missing sink cap / rat", 5},
+    {"DanglingParent", replace_line(4, "1 steiner 10 0 9 10"),
+     "", 4},  // rewrapped builder error; only the line number is pinned
+    {"TruncatedMidRecord", truncate_after(4), "unexpected end of file", 4},
+    {"TruncatedAfterHeader", truncate_after(2), "unexpected end of file", 2},
+    {"NoSinks",
+     "vabi-tree v1\nnodes 2\n0 source 0 0\n1 steiner 10 0 0 10\n",
+     "", 4},  // validate() failure cites the last parsed line
+};
+
+TEST(TreeIoCorpus, EveryBadInputIsRejectedWithALineNumber) {
+  for (const auto& c : corpus) {
+    SCOPED_TRACE(c.name);
+    try {
+      read_tree_from_string(c.text);
+      FAIL() << "accepted malformed input";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      const std::string prefix =
+          "tree_io: line " + std::to_string(c.line) + ":";
+      EXPECT_EQ(msg.rfind(prefix, 0), 0u) << msg;
+      EXPECT_NE(msg.find(c.fragment), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(TreeIoCorpus, GoodInputRoundTrips) {
+  const auto tree = read_tree_from_string(good);
+  EXPECT_EQ(tree.num_nodes(), 4u);
+  EXPECT_EQ(tree.num_sinks(), 2u);
+  const auto again = read_tree_from_string(write_tree_to_string(tree));
+  EXPECT_EQ(write_tree_to_string(again), write_tree_to_string(tree));
+}
+
+TEST(TreeIoCorpus, CommentsAndBlankLinesAreSkipped) {
+  const std::string text = std::string("# generated\n\n") + good;
+  EXPECT_EQ(read_tree_from_string(text).num_nodes(), 4u);
+}
+
+}  // namespace
+}  // namespace vabi::tree
