@@ -12,6 +12,7 @@
 // identical batch).
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -131,6 +132,60 @@ int main(int argc, char** argv) {
             << " failed)\n"
             << "(rerun with --threads N to compare wall-clock scaling)\n";
   const std::string json_path = bench::parse_json_path(argc, argv);
+
+  // -- Journaled mode: durability overhead and recovery cost ----------------
+  // Same batch, now journaled with per-8-jobs checkpoints (solve + fsync +
+  // atomic rename), then resumed from the complete journal. The delta over
+  // the plain run is what crash recoverability costs; the resume time is
+  // what a post-crash restart pays to get every result back without
+  // re-solving anything.
+  const std::string journal_path =
+      (json_path.empty() ? std::string{"bench_fig5"} : json_path) + ".vjl";
+  std::remove(journal_path.c_str());
+  core::batch_journal_options jopts;
+  jopts.path = journal_path;
+  jopts.checkpoint_every_jobs = 8;
+  const auto tj0 = std::chrono::steady_clock::now();
+  auto journaled = solver.solve_journaled(jobs, jopts);
+  const double journaled_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - tj0)
+          .count();
+  double restore_seconds = 0.0;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t checkpoints = 0;
+  std::size_t restored = 0;
+  if (journaled.ok()) {
+    journal_bytes = journaled->journal_bytes;
+    checkpoints = journaled->checkpoints;
+    jopts.resume = true;
+    const auto tr0 = std::chrono::steady_clock::now();
+    auto resumed = solver.solve_journaled(jobs, jopts);
+    restore_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - tr0)
+            .count();
+    if (resumed.ok()) restored = resumed->restored;
+  }
+  std::remove(journal_path.c_str());
+  const double overhead_pct =
+      batch_seconds > 0.0
+          ? 100.0 * (journaled_seconds - batch_seconds) / batch_seconds
+          : 0.0;
+  std::cout << "\n=== Journaled batch: durability overhead ===\n"
+            << "journaled: " << analysis::fmt(journaled_seconds, 2) << " s ("
+            << analysis::fmt(overhead_pct, 1) << "% over plain, "
+            << journal_bytes << " bytes, " << checkpoints << " checkpoints)\n"
+            << "resume from complete journal: "
+            << analysis::fmt(restore_seconds, 2) << " s to restore "
+            << restored << "/" << num_jobs << " nets (no re-solving)\n";
+  status.begin()
+      .str("status", "journal_summary")
+      .num("plain_seconds", batch_seconds)
+      .num("journaled_seconds", journaled_seconds)
+      .num("journal_overhead_pct", overhead_pct)
+      .num("journal_bytes", journal_bytes)
+      .num("checkpoints", static_cast<std::uint64_t>(checkpoints))
+      .num("resume_restore_seconds", restore_seconds)
+      .num("resume_restored", static_cast<std::uint64_t>(restored));
   if (status.write(json_path, "fig5_batch_status")) {
     std::cout << "(per-net status artifact: " << json_path << ")\n";
   }

@@ -1,0 +1,101 @@
+// Independent witness audit of a solver result.
+//
+// The DP returns a winning buffer assignment *and* a claimed canonical form
+// of the root RAT. Nothing in the solver re-checks that the two agree: a bug
+// in pruning, arena sealing, or journal recovery could hand back a form that
+// is not what the chosen assignment implies. This module closes that loop
+// with an evaluator that shares none of the DP's machinery:
+//
+//   1. Straight-line re-derivation: walk the tree once in postorder -- no
+//      candidate lists, no pruning, no worker arenas -- applying the paper's
+//      key operations (eqs. 33-38) to exactly the design the solver chose
+//      (its buffer assignment and wire widths). Devices are re-characterized
+//      in a fresh process model in the canonical device_cache order, with
+//      the variation space padded to the producing run's source count first
+//      so every source id means what it meant originally. The re-derived
+//      (L, T) root forms must match the DP's claimed root RAT *bit for bit*
+//      (same ops, same order, -ffp-contract=off).
+//
+//   2. Monte-Carlo spot check: evaluate the same design at sample points
+//      (64 by default) through the exact Elmore machinery of
+//      monte_carlo_validation -- no canonical-form linearization at all --
+//      and require the empirical distribution to agree with the claimed
+//      form's normal (mean within a sampling-error budget, bounded KS
+//      distance).
+//
+// Used by `vabi_cli --audit` and by resume-time verification of journaled
+// records (every restored record can be audited against the regenerated
+// net).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/parallel.hpp"
+#include "core/statistical_dp.hpp"
+#include "layout/process_model.hpp"
+#include "stats/linear_form.hpp"
+#include "tree/routing_tree.hpp"
+
+namespace vabi::analysis {
+
+struct witness_options {
+  /// Monte-Carlo spot check sample count (0 disables the MC stage).
+  std::size_t mc_samples = 64;
+  std::uint64_t mc_seed = 1;
+  /// KS bound for the spot check. The 64-sample 1% critical value of the
+  /// one-sample KS statistic is ~0.20; the default leaves headroom for the
+  /// first-order min() linearization the canonical form itself makes.
+  double max_ks_distance = 0.25;
+  /// Mean agreement budget, in units of model_sigma / sqrt(mc_samples)
+  /// (the standard error of the MC mean), plus a small absolute floor.
+  double max_mean_error_se = 6.0;
+};
+
+struct witness_report {
+  // -- straight-line form cross-check --------------------------------------
+  bool checked = false;  ///< the re-derivation ran (see skip_reason if not)
+  bool match = false;    ///< claimed root RAT reproduced bit-for-bit
+  std::string mismatch;  ///< first difference, human-readable
+  std::string skip_reason;
+  stats::linear_form witness_rat;   ///< re-derived root RAT form (T)
+  stats::linear_form witness_load;  ///< re-derived root load form (L)
+
+  // -- Monte-Carlo spot check ----------------------------------------------
+  bool mc_checked = false;
+  bool mc_ok = false;
+  double model_mean_ps = 0.0;
+  double model_sigma_ps = 0.0;
+  double mc_mean_ps = 0.0;
+  double mc_sigma_ps = 0.0;
+  double ks_distance = 0.0;
+  std::string mc_detail;  ///< non-empty when mc_ok is false
+
+  /// Audit verdict: the form check ran and matched, and the MC stage (when
+  /// it ran) stayed within bounds.
+  bool ok() const { return checked && match && (!mc_checked || mc_ok); }
+};
+
+/// Audits `result` against the tree it claims to solve. `num_sources` is the
+/// size of the variation space the producing run ended with (for a live
+/// batch_result: `model.space().size()`; for a journaled record: the stored
+/// source count); the witness pads its fresh model to that size so source
+/// ids line up even for corner_fallback results, whose winning pass was the
+/// *second* characterization sweep. Never throws for audit findings -- a
+/// result the witness cannot evaluate comes back with checked == false and a
+/// skip_reason.
+witness_report audit_solution(const tree::routing_tree& tree,
+                              const core::stat_options& options,
+                              const layout::process_model_config& model_config,
+                              layout::bbox die, std::size_t num_sources,
+                              const core::stat_result& result,
+                              const witness_options& opts = {});
+
+/// Convenience overload for one batch slot: derives the die exactly as the
+/// batch solver's job preparation does (job.die, or the net's bounding box
+/// padded by 1 um) and reads `num_sources` off the result's model.
+witness_report audit_solution(const core::batch_job& job,
+                              const core::batch_result& result,
+                              const witness_options& opts = {});
+
+}  // namespace vabi::analysis

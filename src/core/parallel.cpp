@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "core/dp_engine.hpp"
+#include "core/journal.hpp"
 #include "stats/rng.hpp"
 #include "testing/fault_injection.hpp"
 
@@ -543,6 +544,382 @@ std::vector<solve_outcome<batch_result>> batch_solver::solve_outcomes(
   std::vector<solve_outcome<batch_result>> out;
   out.reserve(jobs.size());
   for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Journaled (crash-recoverable) batch solving.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t hash_stat_options(const stat_options& o, std::uint64_t h) {
+  h = fnv1a_f64(o.wire.res_per_um, h);
+  h = fnv1a_f64(o.wire.cap_per_um, h);
+  h = fnv1a_u64(o.library.size(), h);
+  for (const auto& b : o.library.types()) {
+    h = fnv1a_str(b.name, h);
+    h = fnv1a_f64(b.cap_pf, h);
+    h = fnv1a_f64(b.delay_ps, h);
+    h = fnv1a_f64(b.res_ohm, h);
+  }
+  h = fnv1a_f64(o.driver_res_ohm, h);
+  h = fnv1a_u64(o.wire_width_multipliers.size(), h);
+  for (const double m : o.wire_width_multipliers) h = fnv1a_f64(m, h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(o.rule), h);
+  h = fnv1a_f64(o.two_param.p_load, h);
+  h = fnv1a_f64(o.two_param.p_rat, h);
+  h = fnv1a_u64(o.two_param.sweep_window, h);
+  h = fnv1a_f64(o.four_param.alpha_lo, h);
+  h = fnv1a_f64(o.four_param.alpha_hi, h);
+  h = fnv1a_f64(o.four_param.beta_lo, h);
+  h = fnv1a_f64(o.four_param.beta_hi, h);
+  h = fnv1a_f64(o.corner.percentile, h);
+  h = fnv1a_f64(o.root_percentile, h);
+  h = fnv1a_f64(o.selection_percentile, h);
+  h = fnv1a_f64(o.term_prune_rel_eps, h);
+  h = fnv1a_u64(o.max_list_size, h);
+  h = fnv1a_u64(o.max_candidates, h);
+  h = fnv1a_f64(o.max_wall_seconds, h);
+  h = fnv1a_u64(o.max_arena_bytes, h);
+  h = fnv1a_u64(o.check_nonfinite ? 1 : 0, h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(o.degrade), h);
+  return h;
+}
+
+std::uint64_t hash_model_config(const layout::process_model_config& c,
+                                std::uint64_t h) {
+  const auto budget = [&](const layout::class_budget& b, std::uint64_t hh) {
+    hh = fnv1a_f64(b.cap, hh);
+    return fnv1a_f64(b.delay, hh);
+  };
+  h = budget(c.budgets.random_device, h);
+  h = budget(c.budgets.inter_die, h);
+  h = budget(c.budgets.spatial, h);
+  h = fnv1a_u64((c.mode.random_device ? 1u : 0u) |
+                    (c.mode.inter_die ? 2u : 0u) | (c.mode.spatial ? 4u : 0u),
+                h);
+  h = fnv1a_f64(c.spatial.cell_size_um, h);
+  h = fnv1a_f64(c.spatial.range_um, h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(c.spatial.profile), h);
+  return h;
+}
+
+std::uint64_t hash_tree(const tree::routing_tree& t, std::uint64_t h) {
+  h = fnv1a_u64(t.num_nodes(), h);
+  for (const auto& n : t.nodes()) {
+    h = fnv1a_u64(static_cast<std::uint64_t>(n.kind), h);
+    h = fnv1a_f64(n.location.x, h);
+    h = fnv1a_f64(n.location.y, h);
+    h = fnv1a_u64(n.parent, h);
+    h = fnv1a_f64(n.parent_wire_um, h);
+    h = fnv1a_f64(n.sink_cap_pf, h);
+    h = fnv1a_f64(n.sink_rat_ps, h);
+  }
+  return h;
+}
+
+/// Builds the journal_record for slot i of a finished job.
+journal_record make_record(std::size_t i, std::uint64_t fingerprint,
+                           const solve_outcome<batch_result>& slot) {
+  journal_record rec;
+  rec.job_index = i;
+  rec.fingerprint = fingerprint;
+  rec.ok = slot.ok();
+  if (slot.ok()) {
+    rec.num_sources = slot->model.space().size();
+    rec.result = slot->result;
+    rec.result.root_rat.own_terms();
+  } else {
+    rec.code = slot.error().code;
+    rec.error_node = slot.error().node;
+    rec.detail = slot.error().detail;
+  }
+  return rec;
+}
+
+/// True when two results are bit-identical on every field of the determinism
+/// contract (allocations/peak_terms/wall_seconds are scheduling- or
+/// time-dependent and excluded, as documented on dp_stats).
+bool results_identical(const stat_result& a, const stat_result& b) {
+  if (!(a.root_rat == b.root_rat)) return false;
+  if (a.num_buffers != b.num_buffers || a.path != b.path) return false;
+  if (a.assignment.num_nodes() != b.assignment.num_nodes()) return false;
+  for (tree::node_id n = 0; n < a.assignment.num_nodes(); ++n) {
+    const bool ha = a.assignment.has_buffer(n);
+    if (ha != b.assignment.has_buffer(n)) return false;
+    if (ha && a.assignment.buffer(n) != b.assignment.buffer(n)) return false;
+  }
+  if (a.wires.num_nodes() != b.wires.num_nodes()) return false;
+  for (tree::node_id n = 0; n < a.wires.num_nodes(); ++n) {
+    if (a.wires.width(n) != b.wires.width(n)) return false;
+  }
+  return a.stats.candidates_created == b.stats.candidates_created &&
+         a.stats.candidates_pruned == b.stats.candidates_pruned &&
+         a.stats.merge_pairs == b.stats.merge_pairs &&
+         a.stats.peak_list_size == b.stats.peak_list_size;
+}
+
+solve_error mismatch(std::string detail) {
+  return solve_error{solve_code::journal_mismatch, tree::invalid_node,
+                     std::move(detail)};
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_job(const batch_job& job, std::size_t index,
+                              const std::optional<std::uint64_t>& batch_seed) {
+  std::uint64_t h = fnv1a_seed;
+  h = hash_stat_options(job.options, h);
+  h = hash_model_config(job.model, h);
+  h = fnv1a_f64(job.die.lo.x, h);
+  h = fnv1a_f64(job.die.lo.y, h);
+  h = fnv1a_f64(job.die.hi.x, h);
+  h = fnv1a_f64(job.die.hi.y, h);
+  if (job.tree != nullptr) {
+    h = fnv1a_u64(1, h);
+    h = hash_tree(*job.tree, h);
+  } else if (job.generate.has_value()) {
+    tree::random_tree_options g = *job.generate;
+    if (batch_seed.has_value()) {
+      g.seed = stats::derive_seed(*batch_seed, index);
+    }
+    h = fnv1a_u64(2, h);
+    h = fnv1a_u64(g.num_sinks, h);
+    h = fnv1a_f64(g.die_side_um, h);
+    h = fnv1a_u64(g.seed, h);
+    h = fnv1a_f64(g.sink_cap_min_pf, h);
+    h = fnv1a_f64(g.sink_cap_max_pf, h);
+    h = fnv1a_f64(g.sink_rat_ps, h);
+    h = fnv1a_f64(g.criticality_balance, h);
+    h = fnv1a_f64(g.balance_delay_per_um, h);
+  } else {
+    h = fnv1a_u64(0, h);  // unusable job; solving it yields a typed error
+  }
+  return h;
+}
+
+solve_outcome<journaled_batch> batch_solver::solve_journaled(
+    const std::vector<batch_job>& jobs, const batch_journal_options& journal,
+    const cancel_token* cancel) {
+  journaled_batch out;
+
+  std::vector<std::uint64_t> fingerprints(jobs.size());
+  std::uint64_t jobs_fp = fnv1a_u64(jobs.size(), fnv1a_seed);
+  if (config_.batch_seed.has_value()) {
+    jobs_fp = fnv1a_u64(*config_.batch_seed, jobs_fp);
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    fingerprints[i] = fingerprint_job(jobs[i], i, config_.batch_seed);
+    jobs_fp = fnv1a_u64(fingerprints[i], jobs_fp);
+  }
+
+  journal_header header;
+  header.has_batch_seed = config_.batch_seed.has_value();
+  header.batch_seed = config_.batch_seed.value_or(0);
+  header.num_jobs = jobs.size();
+  header.jobs_fingerprint = jobs_fp;
+
+  // -- resume: recover and validate already-journaled records ---------------
+  std::vector<std::optional<journal_record>> recovered(jobs.size());
+  std::vector<journal_record> recovered_order;  // original append order
+  if (journal.resume) {
+    auto read = read_journal(journal.path);
+    if (!read.ok()) return std::move(read.error());
+    out.dropped_tail_bytes = read->dropped_tail_bytes;
+    out.duplicates_dropped = read->duplicates_dropped;
+    if (read->has_header) {
+      const journal_header& jh = read->header;
+      if (jh.num_jobs != jobs.size()) {
+        return mismatch("journal has " + std::to_string(jh.num_jobs) +
+                        " jobs, resume batch has " +
+                        std::to_string(jobs.size()));
+      }
+      if (jh.has_batch_seed != header.has_batch_seed ||
+          jh.batch_seed != header.batch_seed) {
+        return mismatch("journal batch_seed differs from resume batch");
+      }
+      if (jh.jobs_fingerprint != jobs_fp) {
+        return mismatch(
+            "journal jobs fingerprint differs: the journal was written by a "
+            "run with different jobs or stat_options");
+      }
+      for (auto& rec : read->records) {
+        if (rec.job_index >= jobs.size()) {
+          return mismatch("journal record for out-of-range job " +
+                          std::to_string(rec.job_index));
+        }
+        if (rec.fingerprint != fingerprints[rec.job_index]) {
+          return mismatch("journal record for job " +
+                          std::to_string(rec.job_index) +
+                          " does not fingerprint-match the job being resumed");
+        }
+        if (!rec.ok && rec.code == solve_code::cancelled) {
+          continue;  // cancellation is not a result; re-solve the job
+        }
+        recovered[rec.job_index] = rec;
+        recovered_order.push_back(std::move(rec));
+      }
+    }
+  }
+
+  journal_writer writer{journal.path, header, journal.checkpoint_every_jobs,
+                        journal.checkpoint_every_bytes};
+  for (const auto& rec : recovered_order) writer.restore(rec);
+
+  // -- restore recovered records into their slots ---------------------------
+  std::vector<std::optional<solve_outcome<batch_result>>> slots(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!recovered[i].has_value()) continue;
+    journal_record& rec = *recovered[i];
+    if (!rec.ok) {
+      slots[i].emplace(solve_error{rec.code, rec.error_node, rec.detail});
+      ++out.restored;
+      continue;
+    }
+    try {
+      job_setup setup = prepare_job(jobs[i], i, config_.batch_seed);
+      if (rec.result.assignment.num_nodes() != 0 &&
+          rec.result.assignment.num_nodes() != setup.net->num_nodes()) {
+        return mismatch("journal record for job " + std::to_string(i) +
+                        " has an assignment over " +
+                        std::to_string(rec.result.assignment.num_nodes()) +
+                        " nodes; the job's tree has " +
+                        std::to_string(setup.net->num_nodes()));
+      }
+      layout::process_model& model = *setup.model;
+      if (rec.num_sources < model.space().size()) {
+        return mismatch("journal record for job " + std::to_string(i) +
+                        " claims fewer variation sources than the model's "
+                        "deterministic prefix");
+      }
+      // The producing run's variation space was the deterministic prefix
+      // (inter-die + spatial grid) plus one unit-sigma private source per
+      // characterized device, in characterization order. Re-padding with
+      // unit random sources rebuilds a space in which the journaled forms
+      // mean exactly what they meant originally.
+      while (model.space().size() < rec.num_sources) {
+        model.space().add_source(stats::source_kind::random_device, 1.0);
+      }
+      slots[i].emplace(batch_result{std::move(rec.result), std::move(model),
+                                    std::move(setup.generated)});
+      ++out.restored;
+    } catch (const std::exception& e) {
+      // prepare_job failing for a job the journal says *succeeded* is an
+      // input mismatch by definition (the fingerprint cannot see a caller's
+      // dangling tree pointer, say).
+      return mismatch("job " + std::to_string(i) +
+                      " cannot be re-prepared for restore: " + e.what());
+    }
+  }
+
+  // -- solve what the journal did not cover ---------------------------------
+  std::mutex journal_mu;
+  std::size_t to_solve = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!slots[i].has_value()) ++to_solve;
+  }
+  std::latch done{static_cast<std::ptrdiff_t>(to_solve)};
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (slots[i].has_value()) continue;
+    pool_.submit([&, i] {
+      try {
+        if (cancel != nullptr && cancel->stop_requested()) {
+          slots[i].emplace(solve_error{solve_code::cancelled,
+                                       tree::invalid_node,
+                                       "cancelled before start"});
+        } else {
+          job_setup setup = prepare_job(jobs[i], i, config_.batch_seed);
+          solve_outcome<batch_result> o = [&]() -> solve_outcome<batch_result> {
+            auto solved = solve_statistical_insertion(
+                *setup.net, *setup.model, jobs[i].options, cancel);
+            if (!solved.ok()) return std::move(solved.error());
+            return batch_result{std::move(*solved), std::move(*setup.model),
+                                std::move(setup.generated)};
+          }();
+          slots[i].emplace(std::move(o));
+        }
+      } catch (const std::bad_alloc&) {
+        slots[i].emplace(solve_error{solve_code::memory_cap,
+                                     tree::invalid_node,
+                                     "allocation failed preparing job"});
+      } catch (const std::exception& e) {
+        slots[i].emplace(solve_error{solve_code::internal, tree::invalid_node,
+                                     e.what()});
+      } catch (...) {
+        slots[i].emplace(solve_error{solve_code::internal, tree::invalid_node,
+                                     "unknown exception"});
+      }
+      // Journal the outcome -- except cancellations, which are not results:
+      // a resumed run must re-solve those jobs.
+      if (slots[i]->code() != solve_code::cancelled) {
+        std::lock_guard lk(journal_mu);
+        writer.append(make_record(i, fingerprints[i], *slots[i]));
+        if (testing::should_fire(testing::fault_point::crash_after_job, i)) {
+          // Simulate the process dying the instant job i committed: no
+          // drain, no final flush, no destructors. Exactly what SIGKILL
+          // leaves behind, but at a deterministic point.
+          std::_Exit(42);
+        }
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!recovered[i].has_value() &&
+        slots[i]->code() != solve_code::cancelled) {
+      ++out.solved;
+    }
+  }
+  writer.flush();
+
+  // -- optional paranoid re-verification of every restored record -----------
+  if (journal.verify_restored && out.restored > 0) {
+    std::vector<std::size_t> restored_jobs;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (recovered[i].has_value() && slots[i]->ok()) restored_jobs.push_back(i);
+    }
+    std::vector<std::optional<solve_outcome<batch_result>>> check(
+        restored_jobs.size());
+    std::latch verified{static_cast<std::ptrdiff_t>(restored_jobs.size())};
+    for (std::size_t k = 0; k < restored_jobs.size(); ++k) {
+      pool_.submit([&, k] {
+        const std::size_t i = restored_jobs[k];
+        try {
+          job_setup setup = prepare_job(jobs[i], i, config_.batch_seed);
+          auto solved = solve_statistical_insertion(*setup.net, *setup.model,
+                                                    jobs[i].options, nullptr);
+          if (solved.ok()) {
+            check[k].emplace(batch_result{std::move(*solved),
+                                          std::move(*setup.model),
+                                          std::nullopt});
+          } else {
+            check[k].emplace(std::move(solved.error()));
+          }
+        } catch (const std::exception& e) {
+          check[k].emplace(solve_error{solve_code::internal,
+                                       tree::invalid_node, e.what()});
+        }
+        verified.count_down();
+      });
+    }
+    verified.wait();
+    for (std::size_t k = 0; k < restored_jobs.size(); ++k) {
+      const std::size_t i = restored_jobs[k];
+      if (!check[k]->ok() ||
+          !results_identical((*check[k])->result, (**slots[i]).result)) {
+        return mismatch("restored record for job " + std::to_string(i) +
+                        " is not bit-identical to a fresh solve");
+      }
+    }
+  }
+
+  out.checkpoints = writer.checkpoints();
+  out.journal_bytes = writer.bytes();
+  out.journal_warning = writer.io_error();
+  out.slots.reserve(jobs.size());
+  for (auto& slot : slots) out.slots.push_back(std::move(*slot));
   return out;
 }
 

@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/statistical_dp.hpp"
@@ -153,6 +154,47 @@ struct batch_result {
   std::optional<tree::routing_tree> generated;
 };
 
+/// How batch_solver::solve_journaled uses its journal.
+struct batch_journal_options {
+  std::string path;  ///< journal file, e.g. "run.vjl"
+  /// Checkpoint (atomic whole-image rewrite) every N newly solved jobs
+  /// (0 = no count trigger) / every B newly appended bytes (0 = no byte
+  /// trigger). A final checkpoint always happens when the batch drains.
+  std::size_t checkpoint_every_jobs = 16;
+  std::uint64_t checkpoint_every_bytes = 1u << 22;
+  /// Restore already-journaled jobs instead of re-solving them. A missing
+  /// journal file is a valid empty journal (a run killed before its first
+  /// checkpoint leaves none).
+  bool resume = false;
+  /// Paranoia knob: re-solve every restored job anyway and require the
+  /// restored record to be bit-identical (root RAT form, assignment, wires,
+  /// deterministic counters). Divergence -- which the determinism contract
+  /// rules out short of journal tampering or a build mismatch -- is a typed
+  /// journal_mismatch. This is the resume invariant, executable.
+  bool verify_restored = false;
+};
+
+/// What solve_journaled returns alongside the per-job slots.
+struct journaled_batch {
+  std::vector<solve_outcome<batch_result>> slots;  ///< slot i <-> job i
+  std::size_t restored = 0;  ///< jobs recovered from the journal
+  std::size_t solved = 0;    ///< jobs actually solved this run
+  std::size_t checkpoints = 0;
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t dropped_tail_bytes = 0;  ///< torn tail discarded on resume
+  std::uint64_t duplicates_dropped = 0;
+  /// First journal I/O failure ("" when healthy). Never fatal to the batch.
+  std::string journal_warning;
+};
+
+/// The fingerprint of one job's solve-relevant inputs, as journaled with
+/// every record: stat_options, model config, die, and the net (tree bytes,
+/// or generator options with the effective derive_seed(batch_seed, index)
+/// seed). Resume refuses records whose fingerprint does not match the job
+/// being resumed (solve_code::journal_mismatch).
+std::uint64_t fingerprint_job(const batch_job& job, std::size_t index,
+                              const std::optional<std::uint64_t>& batch_seed);
+
 /// Fans a vector of independent jobs across a work-stealing pool: multi-net
 /// throughput, the paper's thousands-of-nets-per-design regime. Job i's
 /// result lands in slot i; each job gets its own process model (and hence
@@ -188,6 +230,23 @@ class batch_solver {
   /// started still complete.
   std::vector<solve_outcome<batch_result>> solve_outcomes(
       const std::vector<batch_job>& jobs, const cancel_token* cancel = nullptr);
+
+  /// Crash-recoverable batch solving: solve_outcomes plus a durable result
+  /// journal (core/journal.hpp). Every finished job is appended to the
+  /// journal and checkpointed at the configured interval; with `resume` set,
+  /// jobs already in the journal are *restored* instead of re-solved --
+  /// bit-identically, because job i's inputs (tree bytes or generator spec +
+  /// derive_seed(batch_seed, i)) are fingerprinted into each record and
+  /// verified on restore, and the solver itself is deterministic per job.
+  ///
+  /// The outer outcome is an error only when the journal cannot be used at
+  /// all: journal_corrupt (mid-log damage; detail names the record) or
+  /// journal_mismatch (journal from different jobs/options/seed). Journal
+  /// *write* trouble mid-run never fails the batch -- results stay in
+  /// memory and journaled_batch::journal_warning reports the I/O error.
+  solve_outcome<journaled_batch> solve_journaled(
+      const std::vector<batch_job>& jobs, const batch_journal_options& journal,
+      const cancel_token* cancel = nullptr);
 
   std::size_t num_threads() const;
   thread_pool& pool() { return pool_; }

@@ -41,6 +41,8 @@ enum class solve_code : std::uint8_t {
   invalid_tree,       ///< the routing tree failed structural validation
   cancelled,          ///< a cancel_token was triggered (or a sibling aborted)
   internal,           ///< unexpected exception escaping the engine
+  journal_corrupt,    ///< a result journal failed CRC/framing mid-log
+  journal_mismatch,   ///< a journal does not match the jobs being resumed
 };
 
 inline const char* to_string(solve_code code) {
@@ -63,6 +65,10 @@ inline const char* to_string(solve_code code) {
       return "cancelled";
     case solve_code::internal:
       return "internal";
+    case solve_code::journal_corrupt:
+      return "journal_corrupt";
+    case solve_code::journal_mismatch:
+      return "journal_mismatch";
   }
   return "?";
 }

@@ -69,6 +69,12 @@ const char* to_string(fault_point point) {
       return "cancel_wave";
     case fault_point::batch_job_throw:
       return "batch_job_throw";
+    case fault_point::journal_write_short:
+      return "journal_write_short";
+    case fault_point::journal_crc_flip:
+      return "journal_crc_flip";
+    case fault_point::crash_after_job:
+      return "crash_after_job";
     case fault_point::count_:
       break;
   }

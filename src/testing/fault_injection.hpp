@@ -43,6 +43,9 @@ enum class fault_point : std::uint8_t {
   deadline_at_node,  ///< the resource guard reports deadline expiry at a node
   cancel_wave,       ///< cooperative cancellation trips at a node boundary
   batch_job_throw,   ///< a batch job throws before solving (isolation test)
+  journal_write_short,  ///< a journal checkpoint writes a truncated image
+  journal_crc_flip,     ///< a journal record's payload is bit-flipped on write
+  crash_after_job,      ///< the batch process _Exits right after a job commits
   count_             ///< sentinel, not a point
 };
 

@@ -52,7 +52,11 @@ bool read_double(std::istream& ls, double& out) {
 void write_tree(std::ostream& os, const routing_tree& tree) {
   os << "vabi-tree v1\n";
   os << "nodes " << tree.num_nodes() << "\n";
-  os << std::setprecision(17);
+  // max_digits10: the shortest decimal precision guaranteed to round-trip
+  // any double exactly, so save -> load -> solve is bit-identical to solving
+  // the in-memory tree (tests/tree/tree_io_test.cpp pins this over the
+  // Table-1 benchmarks).
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (const auto& n : tree.nodes()) {
     os << n.id << ' ' << to_string(n.kind) << ' ' << n.location.x << ' '
        << n.location.y;

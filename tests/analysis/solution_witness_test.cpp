@@ -1,0 +1,172 @@
+// Independent witness audit: the straight-line re-derivation must reproduce
+// the DP's claimed root RAT form bit for bit on genuine results, and must
+// catch tampered forms and assignments -- the property that makes it a real
+// cross-check rather than a second copy of the same computation.
+#include "analysis/solution_witness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/parallel.hpp"
+#include "timing/buffer_library.hpp"
+#include "tree/generators.hpp"
+
+namespace vabi::analysis {
+namespace {
+
+core::batch_job generated_job(std::size_t sinks,
+                              core::pruning_kind rule =
+                                  core::pruning_kind::two_param) {
+  core::batch_job job;
+  tree::random_tree_options g;
+  g.num_sinks = sinks;
+  job.generate = g;
+  job.options.library = timing::standard_library();
+  job.options.rule = rule;
+  return job;
+}
+
+/// Solves one generated job and returns (job, result) for auditing.
+core::solve_outcome<core::batch_result> solve(const core::batch_job& job) {
+  core::batch_solver::config cfg;
+  cfg.num_threads = 1;
+  cfg.batch_seed = 5;
+  core::batch_solver solver{cfg};
+  auto slots = solver.solve_outcomes({job});
+  return std::move(slots[0]);
+}
+
+TEST(SolutionWitness, ReproducesTwoParamResultBitForBit) {
+  const auto job = generated_job(50);
+  auto slot = solve(job);
+  ASSERT_TRUE(slot.ok()) << slot.error().message();
+
+  const witness_report report = audit_solution(job, *slot);
+  ASSERT_TRUE(report.checked) << report.skip_reason;
+  EXPECT_TRUE(report.match) << report.mismatch;
+  EXPECT_TRUE(report.ok()) << report.mc_detail;
+  EXPECT_TRUE(report.mc_checked);
+  EXPECT_GT(report.model_sigma_ps, 0.0);
+}
+
+TEST(SolutionWitness, ReproducesCornerRuleResult) {
+  const auto job = generated_job(40, core::pruning_kind::corner);
+  auto slot = solve(job);
+  ASSERT_TRUE(slot.ok()) << slot.error().message();
+  const witness_report report = audit_solution(job, *slot);
+  ASSERT_TRUE(report.checked) << report.skip_reason;
+  EXPECT_TRUE(report.ok()) << report.mismatch << report.mc_detail;
+}
+
+TEST(SolutionWitness, ReproducesFourParamResult) {
+  auto job = generated_job(25, core::pruning_kind::four_param);
+  job.options.max_list_size = 200000;
+  auto slot = solve(job);
+  ASSERT_TRUE(slot.ok()) << slot.error().message();
+  const witness_report report = audit_solution(job, *slot);
+  ASSERT_TRUE(report.checked) << report.skip_reason;
+  EXPECT_TRUE(report.ok()) << report.mismatch << report.mc_detail;
+}
+
+TEST(SolutionWitness, ReproducesWireSizedResult) {
+  auto job = generated_job(35);
+  job.options.wire_width_multipliers = {1.0, 1.4, 2.0};
+  auto slot = solve(job);
+  ASSERT_TRUE(slot.ok()) << slot.error().message();
+  const witness_report report = audit_solution(job, *slot);
+  ASSERT_TRUE(report.checked) << report.skip_reason;
+  EXPECT_TRUE(report.ok()) << report.mismatch << report.mc_detail;
+}
+
+TEST(SolutionWitness, CatchesATamperedCoefficient) {
+  const auto job = generated_job(30);
+  auto slot = solve(job);
+  ASSERT_TRUE(slot.ok());
+
+  // Perturb the claimed form by one ULP-scale nudge of the nominal: the
+  // witness must notice, because its comparison is exact.
+  core::batch_result tampered = std::move(*slot);
+  stats::linear_form forged{
+      tampered.result.root_rat.nominal() * (1.0 + 1e-12),
+      {tampered.result.root_rat.terms().begin(),
+       tampered.result.root_rat.terms().end()}};
+  tampered.result.root_rat = std::move(forged);
+
+  const witness_report report = audit_solution(job, tampered);
+  ASSERT_TRUE(report.checked) << report.skip_reason;
+  EXPECT_FALSE(report.match);
+  EXPECT_NE(report.mismatch.find("nominal"), std::string::npos)
+      << report.mismatch;
+}
+
+TEST(SolutionWitness, CatchesATamperedAssignment) {
+  const auto job = generated_job(30);
+  auto slot = solve(job);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_GT(slot->result.num_buffers, 0u);
+
+  // Remove one placed buffer but keep the claimed form: the design no
+  // longer produces that form, and the witness re-derivation must diverge.
+  core::batch_result tampered = std::move(*slot);
+  for (std::size_t id = 0; id < tampered.result.assignment.num_nodes(); ++id) {
+    if (tampered.result.assignment.has_buffer(id)) {
+      tampered.result.assignment.remove(id);
+      break;
+    }
+  }
+  const witness_report report = audit_solution(job, tampered);
+  ASSERT_TRUE(report.checked) << report.skip_reason;
+  EXPECT_FALSE(report.match);
+}
+
+TEST(SolutionWitness, SkipsAbortedResultsWithAReason) {
+  const auto job = generated_job(30);
+  auto slot = solve(job);
+  ASSERT_TRUE(slot.ok());
+  core::batch_result aborted = std::move(*slot);
+  aborted.result.stats.aborted = true;
+  const witness_report report = audit_solution(job, aborted);
+  EXPECT_FALSE(report.checked);
+  EXPECT_FALSE(report.skip_reason.empty());
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(SolutionWitness, AuditsJournaledRecordsAfterResume) {
+  // End-to-end: journal a batch, resume it, audit every restored slot. This
+  // is the satellite contract -- restored records are not exempt from the
+  // witness because restore rebuilt their model from the source count.
+  std::vector<core::batch_job> jobs(3);
+  for (auto& j : jobs) j = generated_job(30);
+
+  const std::string path =
+      ::testing::TempDir() + "vabi_witness_resume.vjl";
+  std::remove(path.c_str());
+  core::batch_solver::config cfg;
+  cfg.num_threads = 2;
+  cfg.batch_seed = 5;
+
+  core::batch_journal_options jopts;
+  jopts.path = path;
+  {
+    core::batch_solver solver{cfg};
+    ASSERT_TRUE(solver.solve_journaled(jobs, jopts).ok());
+  }
+  jopts.resume = true;
+  core::batch_solver solver{cfg};
+  auto resumed = solver.solve_journaled(jobs, jopts);
+  std::remove(path.c_str());
+  ASSERT_TRUE(resumed.ok()) << resumed.error().message();
+  ASSERT_EQ(resumed->restored, jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(resumed->slots[i].ok());
+    const witness_report report =
+        audit_solution(jobs[i], *resumed->slots[i]);
+    ASSERT_TRUE(report.checked) << report.skip_reason;
+    EXPECT_TRUE(report.ok()) << "restored slot " << i << ": "
+                             << report.mismatch << report.mc_detail;
+  }
+}
+
+}  // namespace
+}  // namespace vabi::analysis

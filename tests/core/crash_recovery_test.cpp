@@ -1,0 +1,252 @@
+// Crash matrix for journaled batch solving: fork a child that solves a
+// journaled batch, SIGKILL it at randomized points in its run, then resume
+// from whatever journal the corpse left behind and require the combined
+// results to hash-equal a run that was never killed. SIGKILL cannot be
+// caught, so anything the child managed to checkpoint is exactly what a real
+// OOM-kill or preemption leaves: possibly nothing, possibly a torn tail,
+// never an excuse for wrong results.
+//
+// Environment knobs (both optional, used by CI):
+//   VABI_KILL_POINTS   number of kill points in the SIGKILL matrix
+//                      (default 6; CI runs >= 20)
+//   VABI_JOURNAL_DIR   directory for journal files; on a failed expectation
+//                      the offending journal is *kept* there for upload as a
+//                      CI artifact instead of being deleted.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch_hash_test_util.hpp"
+#include "core/journal.hpp"
+#include "core/parallel.hpp"
+#include "testing/fault_injection.hpp"
+#include "timing/buffer_library.hpp"
+
+namespace vabi::core {
+namespace {
+
+using test_util::hash_outcomes;
+
+constexpr std::uint64_t k_batch_seed = 21;
+
+std::vector<batch_job> crash_jobs() {
+  std::vector<batch_job> jobs(10);
+  for (auto& job : jobs) {
+    tree::random_tree_options g;
+    g.num_sinks = 60;
+    job.generate = g;
+    job.options.library = timing::standard_library();
+  }
+  return jobs;
+}
+
+std::string journal_dir() {
+  if (const char* dir = std::getenv("VABI_JOURNAL_DIR")) {
+    std::string d{dir};
+    if (!d.empty() && d.back() != '/') d += '/';
+    return d;
+  }
+  return ::testing::TempDir();
+}
+
+std::size_t kill_points() {
+  if (const char* env = std::getenv("VABI_KILL_POINTS")) {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 6;
+}
+
+/// Journal path that survives test failure for CI artifact upload.
+struct crash_journal {
+  std::string path;
+  explicit crash_journal(const std::string& name)
+      : path(journal_dir() + "crash_" + name + ".vjl") {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+  ~crash_journal() {
+    if (::testing::Test::HasFailure()) {
+      std::cerr << "[crash_recovery] keeping journal for inspection: " << path
+                << "\n";
+      return;
+    }
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+};
+
+/// The uninterrupted reference: solved once, serially, no journal.
+std::uint64_t reference_hash() {
+  static const std::uint64_t hash = [] {
+    batch_solver::config cfg;
+    cfg.num_threads = 1;
+    cfg.batch_seed = k_batch_seed;
+    batch_solver solver{cfg};
+    return hash_outcomes(solver.solve_outcomes(crash_jobs()));
+  }();
+  return hash;
+}
+
+/// Child body: journal the batch with per-job checkpoints, then _Exit.
+/// Runs in a forked process -- no gtest, no return to the test body.
+[[noreturn]] void child_solve(const std::string& path, std::size_t threads,
+                              const char* fault_spec) {
+  if (fault_spec != nullptr) testing::arm(fault_spec);
+  {
+    batch_solver::config cfg;
+    cfg.num_threads = threads;
+    cfg.batch_seed = k_batch_seed;
+    batch_solver solver{cfg};
+    batch_journal_options jopts;
+    jopts.path = path;
+    jopts.checkpoint_every_jobs = 1;
+    auto out = solver.solve_journaled(crash_jobs(), jopts);
+    if (!out.ok()) std::_Exit(3);
+  }
+  std::_Exit(0);
+}
+
+/// Resumes from whatever `path` holds and hashes the full batch. Asserts the
+/// resume itself succeeds; verify_restored re-solves every restored job and
+/// demands bit-identity on top of the hash comparison below.
+std::uint64_t resume_hash(const std::string& path, std::size_t threads,
+                          std::size_t* restored = nullptr) {
+  batch_solver::config cfg;
+  cfg.num_threads = threads;
+  cfg.batch_seed = k_batch_seed;
+  batch_solver solver{cfg};
+  batch_journal_options jopts;
+  jopts.path = path;
+  jopts.resume = true;
+  jopts.verify_restored = true;
+  auto out = solver.solve_journaled(crash_jobs(), jopts);
+  EXPECT_TRUE(out.ok()) << out.error().message();
+  if (!out.ok()) return 0;
+  if (restored != nullptr) *restored = out->restored;
+  return hash_outcomes(out->slots);
+}
+
+/// Forks, runs child_solve, kills the child after `delay`, reaps it.
+/// The parent must be single-threaded at the fork (every batch_solver here
+/// is scoped, so its pool threads are joined before this is called).
+void fork_and_kill(const std::string& path, std::chrono::microseconds delay,
+                   const char* fault_spec = nullptr) {
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1) << "fork failed";
+  if (pid == 0) {
+    child_solve(path, /*threads=*/2, fault_spec);
+  }
+  if (delay.count() >= 0) {
+    std::this_thread::sleep_for(delay);
+    ::kill(pid, SIGKILL);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  if (delay.count() < 0) {
+    // Deterministic crash_after_job children _Exit(42) on their own.
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 42);
+  }
+}
+
+/// Wall time of one uninterrupted journaled run, used to spread kill points
+/// across the child's actual lifetime.
+double journaled_run_seconds(const std::string& path) {
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    batch_solver::config cfg;
+    cfg.num_threads = 2;
+    cfg.batch_seed = k_batch_seed;
+    batch_solver solver{cfg};
+    batch_journal_options jopts;
+    jopts.path = path;
+    jopts.checkpoint_every_jobs = 1;
+    auto out = solver.solve_journaled(crash_jobs(), jopts);
+    EXPECT_TRUE(out.ok());
+  }
+  std::remove(path.c_str());
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(CrashRecovery, SigkillAtAnyPointResumesBitIdentically) {
+  const std::uint64_t want = reference_hash();
+  crash_journal cj{"sigkill_matrix"};
+  const double full_seconds = journaled_run_seconds(cj.path);
+  const std::size_t points = kill_points();
+
+  for (std::size_t k = 0; k < points; ++k) {
+    SCOPED_TRACE("kill point " + std::to_string(k) + "/" +
+                 std::to_string(points));
+    std::remove(cj.path.c_str());
+    std::remove((cj.path + ".tmp").c_str());
+    // Spread the kill across [0, ~120%] of the measured runtime: before the
+    // first checkpoint, mid-run, and after completion are all fair game.
+    const double frac =
+        1.2 * static_cast<double>(k) / static_cast<double>(points);
+    const auto delay = std::chrono::microseconds(
+        static_cast<long>(frac * full_seconds * 1e6));
+    fork_and_kill(cj.path, delay);
+
+    std::size_t restored = 0;
+    const std::uint64_t got = resume_hash(cj.path, /*threads=*/2, &restored);
+    EXPECT_EQ(got, want) << "resume after SIGKILL diverged (restored "
+                         << restored << " jobs)";
+    if (HasFailure()) break;  // keep this kill point's journal
+  }
+}
+
+TEST(CrashRecovery, DeterministicCrashAfterEveryJobIndex) {
+  // The SIGKILL matrix is timing-dependent by design; this variant pins the
+  // crash to an exact commit boundary: the process _Exits the instant job k
+  // lands in the journal, for every k. No final flush, no destructors --
+  // the checkpointed prefix is all that survives, and it must be enough.
+  const std::uint64_t want = reference_hash();
+  for (std::size_t k = 0; k < 10; k += 3) {
+    SCOPED_TRACE("crash after append " + std::to_string(k));
+    crash_journal cj{"crash_after_" + std::to_string(k)};
+    const std::string spec =
+        "crash_after_job:after=" + std::to_string(k);
+    fork_and_kill(cj.path, std::chrono::microseconds(-1), spec.c_str());
+
+    const std::uint64_t got = resume_hash(cj.path, /*threads=*/2);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(CrashRecovery, ResumeThreadCountIsFreeAfterACrash) {
+  // Crash under 2 threads, resume under 1, 2 and 8: the journal + derived
+  // per-job seeds make the resumed batch thread-count-invariant.
+  const std::uint64_t want = reference_hash();
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("resume threads " + std::to_string(threads));
+    crash_journal cj{"threads_" + std::to_string(threads)};
+    fork_and_kill(cj.path, std::chrono::microseconds(-1),
+                  "crash_after_job:after=4");
+    EXPECT_EQ(resume_hash(cj.path, threads), want);
+  }
+}
+
+TEST(CrashRecovery, ResumeAfterCrashBeforeFirstCheckpointSolvesEverything) {
+  // Kill immediately: with high probability not even the header landed. A
+  // missing or empty journal is a valid journal; resume must just solve the
+  // whole batch.
+  const std::uint64_t want = reference_hash();
+  crash_journal cj{"instant_kill"};
+  fork_and_kill(cj.path, std::chrono::microseconds(0));
+  EXPECT_EQ(resume_hash(cj.path, /*threads=*/2), want);
+}
+
+}  // namespace
+}  // namespace vabi::core
