@@ -117,7 +117,14 @@ int main(int argc, char** argv) {
       status.str("path", core::to_string(slot->result.path))
           .num("num_buffers",
                static_cast<std::uint64_t>(slot->result.num_buffers))
-          .num("seconds", slot->result.stats.wall_seconds);
+          .num("seconds", slot->result.stats.wall_seconds)
+          .num("dense_forms",
+               static_cast<std::uint64_t>(slot->result.stats.dense_forms))
+          .num("terms_merged",
+               static_cast<std::uint64_t>(slot->result.stats.terms_merged))
+          .num("dominance_prefilter_hits",
+               static_cast<std::uint64_t>(
+                   slot->result.stats.dominance_prefilter_hits));
     } else {
       ++failed;
       status.str("detail", slot.error().detail);

@@ -10,17 +10,25 @@
 //
 // Machine-readable output: run with
 //   --benchmark_format=json --benchmark_out=BENCH_micro_ops.json
-// The JSON carries ns/op, the allocs_per_op counter, and the git sha (custom
-// context).
+// The JSON carries ns/op, the allocs_per_op counter, the git sha and the
+// runtime-selected SIMD ISA (custom context), and -- on the Kernel*
+// dense-path benchmarks -- the dense-switch counters as per-op rates.
+//
+// Convenience flag: --min-time=<seconds> is translated to google-benchmark's
+// --benchmark_min_time so CI and humans share one spelling.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "core/pruning.hpp"
 #include "json_out.hpp"
+#include "stats/kernels.hpp"
 #include "stats/linear_form.hpp"
 #include "stats/term_pool.hpp"
 #include "stats/rng.hpp"
@@ -168,6 +176,157 @@ void BM_PooledSubScaled(benchmark::State& state) {
 }
 BENCHMARK(BM_PooledSubScaled)->Arg(8)->Arg(64)->Arg(512);
 
+// ---------------------------------------------------------------------------
+// Dense-vs-sparse kernel comparisons (the PR's adaptive representation).
+//
+// Each BM_Kernel* benchmark runs twice per space size: once with the dense
+// representation forced off (the seed's sparse scalar path over sorted
+// (id, coeff) terms) and once forced on (contiguous coefficient planes fed to
+// the runtime-dispatched SIMD kernels). Forms are fully populated -- every
+// source carries a term -- which is exactly the saturated regime the adaptive
+// switch targets. Results are bit-identical by construction (the golden
+// tests prove it); only the time differs.
+// ---------------------------------------------------------------------------
+
+/// RAII toggle of the adaptive dense switch (+1 always / -1 never).
+struct dense_mode_guard {
+  explicit dense_mode_guard(bool dense) {
+    stats::set_force_dense(dense ? 1 : -1);
+  }
+  ~dense_mode_guard() { stats::set_force_dense(0); }
+};
+
+struct kernel_fixture {
+  stats::variation_space space;
+  stats::term_pool setup_pool;  ///< holds the pre-densified operand forms
+  stats::linear_form a, b;      ///< fully populated operands (sparse or dense)
+
+  kernel_fixture(std::size_t num_sources, bool dense, std::uint64_t seed = 23) {
+    for (std::size_t i = 0; i < num_sources; ++i) {
+      space.add_source(stats::source_kind::random_device, 0.8 + 0.001 * i);
+    }
+    auto rng = stats::make_rng(seed);
+    std::uniform_real_distribution<double> coeff(-1.0, 1.0);
+    stats::linear_form sa{12.5};
+    stats::linear_form sb{-7.25};
+    for (std::size_t i = 0; i < num_sources; ++i) {
+      sa.add_term(static_cast<stats::source_id>(i), coeff(rng));
+      sb.add_term(static_cast<stats::source_id>(i), coeff(rng));
+    }
+    if (!dense) {
+      a = std::move(sa);
+      b = std::move(sb);
+      return;
+    }
+    // Materialize dense-resident operands: a pooled merge with the switch
+    // forced on yields plane-backed forms borrowing setup_pool.
+    dense_mode_guard guard{true};
+    const stats::linear_form zero{0.0};
+    a = stats::pooled_add(sa, zero, setup_pool);
+    b = stats::pooled_add(sb, zero, setup_pool);
+  }
+};
+
+/// Reports the dense-switch counters accumulated across the timed loop.
+class dense_meter {
+ public:
+  dense_meter()
+      : forms0_(stats::dense_forms_produced()),
+        terms0_(stats::pooled_terms_merged()) {}
+  void report(benchmark::State& state) const {
+    const double iters = static_cast<double>(state.iterations());
+    state.counters["dense_forms_per_op"] = benchmark::Counter(
+        static_cast<double>(stats::dense_forms_produced() - forms0_) / iters);
+    state.counters["terms_merged_per_op"] = benchmark::Counter(
+        static_cast<double>(stats::pooled_terms_merged() - terms0_) / iters);
+  }
+
+ private:
+  std::size_t forms0_;
+  std::size_t terms0_;
+};
+
+void BM_KernelMerge(benchmark::State& state) {
+  const bool dense = state.range(1) != 0;
+  kernel_fixture fx(static_cast<std::size_t>(state.range(0)), dense);
+  dense_mode_guard guard{dense};
+  stats::term_pool pool;
+  dense_meter meter;
+  for (auto _ : state) {
+    pool.reset();
+    auto r = stats::pooled_add(fx.a, fx.b, pool);
+    benchmark::DoNotOptimize(r);
+  }
+  meter.report(state);
+}
+
+void BM_KernelBlend(benchmark::State& state) {
+  const bool dense = state.range(1) != 0;
+  kernel_fixture fx(static_cast<std::size_t>(state.range(0)), dense);
+  dense_mode_guard guard{dense};
+  stats::term_pool pool;
+  dense_meter meter;
+  for (auto _ : state) {
+    pool.reset();
+    auto r = stats::pooled_blend(0.375, fx.a, 0.625, fx.b, pool);
+    benchmark::DoNotOptimize(r);
+  }
+  meter.report(state);
+}
+
+void BM_KernelStatisticalMin(benchmark::State& state) {
+  const bool dense = state.range(1) != 0;
+  kernel_fixture fx(static_cast<std::size_t>(state.range(0)), dense);
+  dense_mode_guard guard{dense};
+  stats::term_pool pool;
+  dense_meter meter;
+  for (auto _ : state) {
+    pool.reset();
+    auto r = stats::statistical_min(fx.a, fx.b, fx.space, pool);
+    benchmark::DoNotOptimize(r);
+  }
+  meter.report(state);
+}
+
+void BM_KernelVariance(benchmark::State& state) {
+  const bool dense = state.range(1) != 0;
+  kernel_fixture fx(static_cast<std::size_t>(state.range(0)), dense);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.a.variance(fx.space));
+  }
+}
+
+void BM_KernelCovariance(benchmark::State& state) {
+  const bool dense = state.range(1) != 0;
+  kernel_fixture fx(static_cast<std::size_t>(state.range(0)), dense);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::covariance(fx.a, fx.b, fx.space));
+  }
+}
+
+void BM_KernelSigmaOfDifference(benchmark::State& state) {
+  const bool dense = state.range(1) != 0;
+  kernel_fixture fx(static_cast<std::size_t>(state.range(0)), dense);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::sigma_of_difference(fx.a, fx.b, fx.space));
+  }
+}
+
+void kernel_args(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"sources", "dense"});
+  for (const std::int64_t sources : {8, 64, 256}) {
+    b->Args({sources, 0});
+    b->Args({sources, 1});
+  }
+}
+BENCHMARK(BM_KernelMerge)->Apply(kernel_args);
+BENCHMARK(BM_KernelBlend)->Apply(kernel_args);
+BENCHMARK(BM_KernelStatisticalMin)->Apply(kernel_args);
+BENCHMARK(BM_KernelVariance)->Apply(kernel_args);
+BENCHMARK(BM_KernelCovariance)->Apply(kernel_args);
+BENCHMARK(BM_KernelSigmaOfDifference)->Apply(kernel_args);
+
 std::vector<core::stat_candidate> make_candidates(std::size_t n,
                                                   std::uint64_t seed) {
   auto rng = stats::make_rng(seed);
@@ -238,9 +397,31 @@ BENCHMARK(BM_DetPrune)->Range(64, 4096)->Complexity();
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Translate the harness's --min-time[=N] into google-benchmark's
+  // --benchmark_min_time so callers don't need to know the library spelling.
+  std::vector<std::string> arg_storage;
+  std::vector<char*> args;
+  arg_storage.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--min-time=", 0) == 0) {
+      a = "--benchmark_min_time=" + a.substr(std::strlen("--min-time="));
+    }
+    arg_storage.push_back(std::move(a));
+  }
+  for (auto& a : arg_storage) args.push_back(a.data());
+  int args_count = static_cast<int>(args.size());
+
   benchmark::AddCustomContext("git_sha", vabi::bench::git_sha());
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The runtime-dispatched SIMD ISA the kernels resolved to (honors
+  // VABI_FORCE_KERNEL); lands in the JSON context block.
+  benchmark::AddCustomContext(
+      "kernel_isa",
+      vabi::stats::kernels::to_string(vabi::stats::kernels::active_isa()));
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

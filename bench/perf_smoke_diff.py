@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Warn-only perf smoke: diff a bench_micro_ops JSON run against the baseline.
+
+Compares per-benchmark real_time (ns/op) in google-benchmark's JSON format.
+Prints a table of ratios and emits a GitHub Actions `::warning::` annotation
+for every benchmark slower than --max-ratio times its baseline. Always exits
+0 on well-formed input: CI hardware is noisy and shared, so regressions here
+flag a PR for a human look rather than block it. (Bit-identity, not speed,
+is what the test suite enforces.)
+
+Usage:
+  perf_smoke_diff.py CURRENT.json [--baseline bench/baselines/...json]
+                     [--max-ratio 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """name -> real_time in ns for every aggregate-free benchmark entry."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None or "real_time" not in b:
+            continue
+        times[b["name"]] = b["real_time"] * scale
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument(
+        "--baseline", default="bench/baselines/BENCH_micro_ops_baseline.json"
+    )
+    ap.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.5,
+        help="warn when current/baseline exceeds this",
+    )
+    args = ap.parse_args()
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+    if not base or not cur:
+        print(f"::warning::perf smoke: empty benchmark set "
+              f"(baseline={len(base)}, current={len(cur)}) -- skipping diff")
+        return 0
+
+    shared = sorted(set(base) & set(cur))
+    missing = sorted(set(base) - set(cur))
+    slow = []
+    width = max((len(n) for n in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'base ns':>10}  {'cur ns':>10}  ratio")
+    for name in shared:
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        flag = "  <-- slow" if ratio > args.max_ratio else ""
+        print(f"{name:<{width}}  {base[name]:>10.1f}  {cur[name]:>10.1f}  "
+              f"{ratio:>5.2f}{flag}")
+        if ratio > args.max_ratio:
+            slow.append((name, ratio))
+
+    for name, ratio in slow:
+        print(f"::warning::perf smoke: {name} is {ratio:.2f}x its baseline "
+              f"(limit {args.max_ratio}x)")
+    for name in missing:
+        print(f"::warning::perf smoke: baseline benchmark {name} missing "
+              f"from current run")
+    print(f"perf smoke: {len(shared)} compared, {len(slow)} above "
+          f"{args.max_ratio}x, {len(missing)} missing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -333,6 +333,8 @@ struct dp_worker {
       for (auto& c : list) {
         // -r*l*L_n (both nominal and coefficients), fused into one merge.
         c.rat = stats::pooled_sub_scaled(c.rat, rl, c.load, pool.scratch());
+        c.invalidate_rat_moments();
+        // Nominal-only shifts: Var(rat) changed above, Var(load) survives.
         c.rat -= half_rcl2;     // -r*c*l^2/2
         c.load += cl;
       }
@@ -348,7 +350,8 @@ struct dp_worker {
         v.rat = stats::pooled_sub_scaled(c.rat, rl, c.load, pool.scratch());
         v.rat -= 0.5 * rl * cl;
         v.load = c.load;
-        v.load += cl;
+        v.load += cl;              // nominal-only: c's cached Var(load) holds
+        v.var_load = c.var_load;
         v.why = arena.wire_sized(child, w, c.why);
         out.push_back(std::move(v));
         ++dps.candidates_created;
@@ -539,6 +542,8 @@ struct dp_worker {
     if (guard.begin_node(id, pool)) return {};
     const std::size_t alloc0 =
         pool.allocations() + stats::term_heap_allocations();
+    const std::size_t dense0 = stats::dense_forms_produced();
+    const std::size_t terms0 = stats::pooled_terms_merged();
     cand_list here = pool.acquire();
     solve_node_impl(id, lists, here);
     if (!dps.aborted && options.check_nonfinite) check_finite(here);
@@ -555,6 +560,8 @@ struct dp_worker {
     dps.allocations +=
         pool.allocations() + stats::term_heap_allocations() - alloc0;
     dps.peak_terms = std::max(dps.peak_terms, pool.scratch().peak_terms());
+    dps.dense_forms += stats::dense_forms_produced() - dense0;
+    dps.terms_merged += stats::pooled_terms_merged() - terms0;
     return out;
   }
 
@@ -607,15 +614,8 @@ struct dp_worker {
   /// guard with solve_code::nonfinite_value instead of letting the poison
   /// propagate silently to the root selection.
   void check_finite(const cand_list& list) {
-    auto finite = [](const stats::linear_form& f) {
-      if (!std::isfinite(f.nominal())) return false;
-      for (const auto& t : f.terms()) {
-        if (!std::isfinite(t.coeff)) return false;
-      }
-      return true;
-    };
     for (const auto& c : list) {
-      if (!finite(c.load) || !finite(c.rat)) {
+      if (!c.load.is_finite() || !c.rat.is_finite()) {
         guard.trip(solve_code::nonfinite_value,
                    "non-finite canonical form at seal point");
         return;

@@ -1,6 +1,8 @@
 #include "core/pruning.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
 
 #include "stats/linear_form.hpp"
 #include "stats/normal.hpp"
@@ -9,13 +11,77 @@ namespace vabi::core {
 
 namespace {
 
-/// P(x < y) with the identical-form tie convention (see file comment of
-/// pruning.hpp): identical forms count as satisfying the condition.
+/// Safety slack (in z-score units) for the interval prefilter below. The
+/// exact path evaluates Phi(mu_d / sigma_d) >= p with ~1e-15 accumulated
+/// rounding; the prefilter only asserts a verdict when the decision margin
+/// exceeds kappa, nine orders of magnitude wider, so it can never disagree
+/// with the exact pass.
+constexpr double k_prefilter_slack = 1e-6;
+
+/// P(x < y) >= p with the identical-form tie convention (see file comment of
+/// pruning.hpp), for p > 0.5 strictly.
+///
+/// `sigma_x` / `sigma_y` are the callers' cached stddevs of x and y. The
+/// stddev of the difference d = y - x is bracketed by
+///
+///   |sigma_x - sigma_y|  <=  sigma_d  <=  sigma_x + sigma_y
+///
+/// (perfect positive / negative correlation), which decides clearly ordered
+/// pairs from the cached moments alone:
+///
+///   - mu_d > (z_p + kappa)(sigma_x + sigma_y): then mu_d / sigma_d > z_p
+///     for every admissible sigma_d (and mu_d > 0 covers sigma_d == 0, where
+///     the exact path's exceedance degenerates to 1) -- definitely true.
+///   - mu_d < 0: Phi(mu_d / sigma_d) < 0.5 < p (and the degenerate
+///     sigma_d == 0 exceedance is 0) -- definitely false.
+///   - 0 <= mu_d < (z_p - kappa)|sigma_x - sigma_y|: then sigma_d > 0 and
+///     mu_d / sigma_d < z_p -- definitely false.
+///
+/// Only when the interval straddles the threshold does the exact single-pass
+/// sigma_of_difference (the per-pair covariance walk) run. NaN moments fail
+/// every comparison and fall through to the exact path. Prefilter verdicts
+/// are counted into *prefilter_hits when given.
 bool prob_less_at_least(const stats::linear_form& x,
-                        const stats::linear_form& y, double p,
-                        const stats::variation_space& space) {
+                        const stats::linear_form& y, double p, double sigma_x,
+                        double sigma_y, const stats::variation_space& space,
+                        sigma_diff_cache* sigmas,
+                        std::size_t* prefilter_hits) {
   if (x == y) return true;
-  return stats::prob_greater(y, x, space) >= p;
+  const double mu_d = y.mean() - x.mean();
+  const double z_p = stats::normal_quantile(p);  // > 0 since p > 0.5
+  if (mu_d > (z_p + k_prefilter_slack) * (sigma_x + sigma_y)) {
+    if (prefilter_hits != nullptr) ++*prefilter_hits;
+    return true;
+  }
+  if (mu_d < 0.0 || mu_d < (z_p - k_prefilter_slack) *
+                               std::abs(sigma_x - sigma_y)) {
+    if (prefilter_hits != nullptr) ++*prefilter_hits;
+    return false;
+  }
+  // Exact pass: same bits as stats::prob_greater(y, x, space), with the
+  // sigma_of_difference optionally served from the sweep's symmetric memo.
+  const double sigma = sigmas != nullptr
+                           ? sigmas->get(y, x, space)
+                           : stats::sigma_of_difference(y, x, space);
+  return stats::normal_exceedance(mu_d, sigma, 0.0) >= p;
+}
+
+/// dominates(two_param_rule) with prefilter-hit accounting and an optional
+/// sigma memo for the sweep.
+bool dominates_2p(const two_param_rule& rule, const stat_candidate& a,
+                  const stat_candidate& b, const stats::variation_space& space,
+                  sigma_diff_cache* sigmas, std::size_t* prefilter_hits) {
+  if (rule.is_mean_rule()) {
+    // Lemma 4: P(. > .) >= 0.5 is exactly a comparison of means (also for
+    // degenerate zero-variance differences, per the tie convention).
+    return a.load.mean() <= b.load.mean() && a.rat.mean() >= b.rat.mean();
+  }
+  return prob_less_at_least(a.load, b.load, rule.p_load,
+                            a.load_stddev(space), b.load_stddev(space), space,
+                            sigmas, prefilter_hits) &&
+         prob_less_at_least(b.rat, a.rat, rule.p_rat, b.rat_stddev(space),
+                            a.rat_stddev(space), space, sigmas,
+                            prefilter_hits);
 }
 
 }  // namespace
@@ -53,13 +119,35 @@ void prune_deterministic(std::vector<det_candidate>& list, dp_stats& stats) {
 
 bool dominates(const two_param_rule& rule, const stat_candidate& a,
                const stat_candidate& b, const stats::variation_space& space) {
-  if (rule.is_mean_rule()) {
-    // Lemma 4: P(. > .) >= 0.5 is exactly a comparison of means (also for
-    // degenerate zero-variance differences, per the tie convention).
-    return a.load.mean() <= b.load.mean() && a.rat.mean() >= b.rat.mean();
-  }
-  return prob_less_at_least(a.load, b.load, rule.p_load, space) &&
-         prob_less_at_least(b.rat, a.rat, rule.p_rat, space);
+  return dominates_2p(rule, a, b, space, nullptr, nullptr);
+}
+
+std::size_t sigma_diff_cache::key_hash::operator()(const key& k) const {
+  const std::size_t h1 = std::hash<const void*>{}(k.lo);
+  const std::size_t h2 = std::hash<const void*>{}(k.hi);
+  return h1 ^ (h2 * std::size_t{0x9e3779b97f4a7c15ULL});
+}
+
+double sigma_diff_cache::get(const stats::linear_form& x,
+                             const stats::linear_form& y,
+                             const stats::variation_space& space) {
+  const void* px = &x;
+  const void* py = &y;
+  // std::less gives the total pointer order the raw <= would not guarantee
+  // for unrelated objects.
+  const key k =
+      std::less<const void*>{}(py, px) ? key{py, px} : key{px, py};
+  const auto it = map_.find(k);
+  if (it != map_.end()) return it->second;
+  const double sigma = stats::sigma_of_difference(x, y, space);
+  map_.emplace(k, sigma);
+  return sigma;
+}
+
+bool dominates(const two_param_rule& rule, const stat_candidate& a,
+               const stat_candidate& b, const stats::variation_space& space,
+               sigma_diff_cache& sigmas) {
+  return dominates_2p(rule, a, b, space, &sigmas, nullptr);
 }
 
 void prune_two_param(const two_param_rule& rule,
@@ -84,7 +172,8 @@ void prune_two_param(const two_param_rule& rule,
     const std::size_t scan =
         std::min(rule.is_mean_rule() ? std::size_t{1} : window, kept.size());
     for (std::size_t k = 1; k <= scan && !pruned; ++k) {
-      pruned = dominates(rule, kept[kept.size() - k], c, space);
+      pruned = dominates_2p(rule, kept[kept.size() - k], c, space, nullptr,
+                            &stats.dominance_prefilter_hits);
     }
     if (pruned) {
       ++stats.candidates_pruned;
@@ -137,9 +226,9 @@ void prune_four_param(const four_param_rule& rule,
   std::vector<corners> c(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double lm = list[i].load.mean();
-    const double ls = list[i].load.stddev(space);
+    const double ls = list[i].load_stddev(space);
     const double rm = list[i].rat.mean();
-    const double rs = list[i].rat.stddev(space);
+    const double rs = list[i].rat_stddev(space);
     c[i] = {stats::normal_percentile(lm, ls, rule.alpha_lo),
             stats::normal_percentile(lm, ls, rule.alpha_hi),
             stats::normal_percentile(rm, rs, rule.beta_lo),
@@ -195,8 +284,13 @@ void prune_corner(const corner_rule& rule, std::vector<stat_candidate>& list,
   std::vector<projected> proj;
   proj.reserve(list.size());
   for (auto& c : list) {
-    proj.push_back({stats::percentile(c.load, space, rule.percentile),
-                    stats::percentile(c.rat, space, 1.0 - rule.percentile),
+    // Same bits as stats::percentile(form, space, p): normal_percentile over
+    // the identical (mean, stddev) pair, with the stddev read from the cache.
+    proj.push_back({stats::normal_percentile(c.load.mean(),
+                                             c.load_stddev(space),
+                                             rule.percentile),
+                    stats::normal_percentile(c.rat.mean(), c.rat_stddev(space),
+                                             1.0 - rule.percentile),
                     std::move(c)});
   }
   std::sort(proj.begin(), proj.end(), [](const projected& a, const projected& b) {

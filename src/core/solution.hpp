@@ -9,6 +9,7 @@
 // implied by the tree structure.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -124,10 +125,41 @@ struct det_candidate {
 
 /// Variation-aware candidate: L and T as canonical forms over the shared
 /// variation space (paper eqs. 31-32).
+///
+/// Carries lazily cached second moments (Var(L), Var(T)) so the dominance
+/// rules stop recomputing per-pair variances: the 2P interval prefilter and
+/// the 4P/corner percentile projections all read the cache. The cache is
+/// keyed by nothing -- a candidate's forms live against one variation space
+/// for their whole life -- and uses -1 as the "unset" sentinel (variances are
+/// never negative). Engines must call invalidate_rat_moments() /
+/// invalidate_load_moments() when they reassign a form's stochastic part;
+/// nominal-only shifts (`form += constant`) preserve the variance and keep
+/// the cache valid.
 struct stat_candidate {
   stats::linear_form load;  ///< pF
   stats::linear_form rat;   ///< ps
   const decision* why = nullptr;
+
+  mutable double var_load = -1.0;  ///< cached Var(load); -1 = unset
+  mutable double var_rat = -1.0;   ///< cached Var(rat); -1 = unset
+
+  double load_variance(const stats::variation_space& space) const {
+    if (var_load < 0.0) var_load = load.variance(space);
+    return var_load;
+  }
+  double rat_variance(const stats::variation_space& space) const {
+    if (var_rat < 0.0) var_rat = rat.variance(space);
+    return var_rat;
+  }
+  /// Bit-identical to load.stddev(space): same sqrt over the same variance.
+  double load_stddev(const stats::variation_space& space) const {
+    return std::sqrt(load_variance(space));
+  }
+  double rat_stddev(const stats::variation_space& space) const {
+    return std::sqrt(rat_variance(space));
+  }
+  void invalidate_load_moments() const { var_load = -1.0; }
+  void invalidate_rat_moments() const { var_rat = -1.0; }
 };
 
 /// Instrumentation accumulated by the DP engines. The runtime / capacity
@@ -145,6 +177,16 @@ struct dp_stats {
   std::size_t allocations = 0;
   /// High-water mark of live scratch-pool terms over any single node solve.
   std::size_t peak_terms = 0;
+  /// Pooled canonical-op results produced in the dense (coefficient-plane)
+  /// representation. Depends on the adaptive switch policy / VABI_FORCE_DENSE,
+  /// never on results (the representations are bit-identical).
+  std::size_t dense_forms = 0;
+  /// Terms that flowed through pooled merge/blend kernels (a dense merge
+  /// counts its full plane extent).
+  std::size_t terms_merged = 0;
+  /// 2P dominance tests decided by the cached-moment interval prefilter,
+  /// skipping the exact per-pair sigma-of-difference pass.
+  std::size_t dominance_prefilter_hits = 0;
   double wall_seconds = 0.0;
   bool aborted = false;                ///< a resource cap fired (4P runs)
   std::string abort_reason;

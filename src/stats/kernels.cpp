@@ -1,0 +1,679 @@
+#include "stats/kernels.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <utility>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define VABI_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define VABI_NEON 1
+#endif
+
+namespace vabi::stats::kernels {
+
+namespace {
+
+// Canonical mask bytes: 0x00 absent, 0xFF present. SIMD compare results can
+// be stored back verbatim and sign-extension turns a byte into a full
+// 64-bit lane mask.
+constexpr std::uint8_t k_present = 0xFF;
+
+// ---------------------------------------------------------------------------
+// Scalar kernels -- the reference semantics every ISA must reproduce.
+// ---------------------------------------------------------------------------
+
+void s_blend_planes(double sa, const double* a, const std::uint8_t* ma,
+                    double sb, const double* b, const std::uint8_t* mb,
+                    double* c, std::uint8_t* mc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pa = ma[i] != 0;
+    const bool pb = mb[i] != 0;
+    double ci = 0.0;
+    if (pa && pb) {
+      // Exactly the sparse both-present expression (sa*a_i) + (sb*b_i).
+      ci = sa * a[i] + sb * b[i];
+    } else if (pa) {
+      ci = sa * a[i];
+    } else if (pb) {
+      ci = sb * b[i];
+    }
+    c[i] = ci;
+    mc[i] = (pa || pb) ? k_present : 0;
+  }
+}
+
+void s_scale_plane(double s, const double* a, const std::uint8_t* ma,
+                   double* c, std::uint8_t* mc, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pa = ma[i] != 0;
+    c[i] = pa ? s * a[i] : 0.0;
+    mc[i] = pa ? k_present : 0;
+  }
+}
+
+double s_max_abs_plane(const double* c, std::size_t n) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::abs(c[i]));
+  return m;
+}
+
+void s_drop_small_plane(double* c, std::uint8_t* mc, double thr,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(std::abs(c[i]) > thr)) {
+      c[i] = 0.0;
+      mc[i] = 0;
+    }
+  }
+}
+
+double s_variance_plane(const double* a, const double* s2, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * a[i] * s2[i];
+  return acc;
+}
+
+pair_result s_moments2_planes(const double* a, const double* b,
+                              const double* s2, std::size_t n) {
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    va += a[i] * a[i] * s2[i];
+    vb += b[i] * b[i] * s2[i];
+  }
+  return {va, vb};
+}
+
+double s_covariance_planes(const double* a, const double* b, const double* s2,
+                           std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i] * s2[i];
+  return acc;
+}
+
+double s_sigma_diff_sq_planes(const double* a, const double* b,
+                              const double* s2, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d * s2[i];
+  }
+  return acc;
+}
+
+bool s_planes_equal(const double* a, const std::uint8_t* ma, const double* b,
+                    const std::uint8_t* mb, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((ma[i] != 0) != (mb[i] != 0)) return false;
+    // Absent slots are canonical 0.0 on both sides, so the numeric compare
+    // (IEEE ==, -0.0 equal to +0.0 like the sparse path) covers every slot.
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+std::size_t s_popcount_mask(const std::uint8_t* m, std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += m[i] != 0 ? 1 : 0;
+  return count;
+}
+
+constexpr kernel_table k_scalar_table = {
+    kernel_isa::scalar,     s_blend_planes,       s_scale_plane,
+    s_max_abs_plane,        s_drop_small_plane,   s_variance_plane,
+    s_moments2_planes,      s_covariance_planes,  s_sigma_diff_sq_planes,
+    s_planes_equal,         s_popcount_mask,
+};
+
+// ---------------------------------------------------------------------------
+// x86-64: SSE2 (baseline) and AVX2 (runtime-detected, per-function target
+// attributes so the rest of the binary keeps the portable baseline).
+// ---------------------------------------------------------------------------
+
+#ifdef VABI_X86
+
+// Loads `w` mask bytes (w = 2 or 4) as a packed integer without aliasing UB.
+inline std::uint32_t load_mask_u32(const std::uint8_t* m) {
+  std::uint32_t v;
+  std::memcpy(&v, m, sizeof v);
+  return v;
+}
+inline std::uint16_t load_mask_u16(const std::uint8_t* m) {
+  std::uint16_t v;
+  std::memcpy(&v, m, sizeof v);
+  return v;
+}
+
+void sse2_blend_planes(double sa, const double* a, const std::uint8_t* ma,
+                       double sb, const double* b, const std::uint8_t* mb,
+                       double* c, std::uint8_t* mc, std::size_t n) {
+  const __m128d vsa = _mm_set1_pd(sa);
+  const __m128d vsb = _mm_set1_pd(sb);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Sign-extend two canonical mask bytes into two 64-bit lane masks.
+    const __m128i mba = _mm_set_epi64x(ma[i + 1] ? -1 : 0, ma[i] ? -1 : 0);
+    const __m128i mbb = _mm_set_epi64x(mb[i + 1] ? -1 : 0, mb[i] ? -1 : 0);
+    const __m128d vma = _mm_castsi128_pd(mba);
+    const __m128d vmb = _mm_castsi128_pd(mbb);
+    const __m128d pa = _mm_mul_pd(vsa, _mm_loadu_pd(a + i));
+    const __m128d pb = _mm_mul_pd(vsb, _mm_loadu_pd(b + i));
+    const __m128d sum = _mm_add_pd(pa, pb);
+    const __m128d both = _mm_and_pd(vma, vmb);
+    const __m128d only_a = _mm_andnot_pd(vmb, vma);
+    const __m128d only_b = _mm_andnot_pd(vma, vmb);
+    const __m128d out = _mm_or_pd(
+        _mm_and_pd(both, sum),
+        _mm_or_pd(_mm_and_pd(only_a, pa), _mm_and_pd(only_b, pb)));
+    _mm_storeu_pd(c + i, out);
+    const std::uint16_t mu = load_mask_u16(ma + i) | load_mask_u16(mb + i);
+    std::memcpy(mc + i, &mu, sizeof mu);
+  }
+  if (i < n) s_blend_planes(sa, a + i, ma + i, sb, b + i, mb + i, c + i,
+                            mc + i, n - i);
+}
+
+void sse2_scale_plane(double s, const double* a, const std::uint8_t* ma,
+                      double* c, std::uint8_t* mc, std::size_t n) {
+  const __m128d vs = _mm_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i mba = _mm_set_epi64x(ma[i + 1] ? -1 : 0, ma[i] ? -1 : 0);
+    const __m128d vma = _mm_castsi128_pd(mba);
+    const __m128d out =
+        _mm_and_pd(vma, _mm_mul_pd(vs, _mm_loadu_pd(a + i)));
+    _mm_storeu_pd(c + i, out);
+    const std::uint16_t mu = load_mask_u16(ma + i);
+    std::memcpy(mc + i, &mu, sizeof mu);
+  }
+  if (i < n) s_scale_plane(s, a + i, ma + i, c + i, mc + i, n - i);
+}
+
+double sse2_max_abs_plane(const double* c, std::size_t n) {
+  const __m128d sign = _mm_set1_pd(-0.0);
+  __m128d vm = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vm = _mm_max_pd(vm, _mm_andnot_pd(sign, _mm_loadu_pd(c + i)));
+  }
+  double lanes[2];
+  _mm_storeu_pd(lanes, vm);
+  double m = std::max(lanes[0], lanes[1]);
+  for (; i < n; ++i) m = std::max(m, std::abs(c[i]));
+  return m;
+}
+
+void sse2_drop_small_plane(double* c, std::uint8_t* mc, double thr,
+                           std::size_t n) {
+  const __m128d sign = _mm_set1_pd(-0.0);
+  const __m128d vthr = _mm_set1_pd(thr);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d vc = _mm_loadu_pd(c + i);
+    const __m128d keep = _mm_cmpgt_pd(_mm_andnot_pd(sign, vc), vthr);
+    _mm_storeu_pd(c + i, _mm_and_pd(keep, vc));
+    const int bits = _mm_movemask_pd(keep);
+    mc[i] = (bits & 1) ? mc[i] : 0;
+    mc[i + 1] = (bits & 2) ? mc[i + 1] : 0;
+  }
+  if (i < n) s_drop_small_plane(c + i, mc + i, thr, n - i);
+}
+
+bool sse2_planes_equal(const double* a, const std::uint8_t* ma,
+                       const double* b, const std::uint8_t* mb,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (load_mask_u16(ma + i) != load_mask_u16(mb + i)) return false;
+    const __m128d eq = _mm_cmpeq_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i));
+    if (_mm_movemask_pd(eq) != 0x3) return false;
+  }
+  return i >= n || s_planes_equal(a + i, ma + i, b + i, mb + i, n - i);
+}
+
+const kernel_table k_sse2_table = {
+    kernel_isa::sse2,       sse2_blend_planes,    sse2_scale_plane,
+    sse2_max_abs_plane,     sse2_drop_small_plane, s_variance_plane,
+    s_moments2_planes,      s_covariance_planes,  s_sigma_diff_sq_planes,
+    sse2_planes_equal,      s_popcount_mask,
+};
+
+__attribute__((target("avx2"))) void avx2_blend_planes(
+    double sa, const double* a, const std::uint8_t* ma, double sb,
+    const double* b, const std::uint8_t* mb, double* c, std::uint8_t* mc,
+    std::size_t n) {
+  const __m256d vsa = _mm256_set1_pd(sa);
+  const __m256d vsb = _mm256_set1_pd(sb);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Four canonical mask bytes -> four sign-extended 64-bit lane masks.
+    const __m128i ba =
+        _mm_cvtsi32_si128(static_cast<int>(load_mask_u32(ma + i)));
+    const __m128i bb =
+        _mm_cvtsi32_si128(static_cast<int>(load_mask_u32(mb + i)));
+    const __m256d vma = _mm256_castsi256_pd(_mm256_cvtepi8_epi64(ba));
+    const __m256d vmb = _mm256_castsi256_pd(_mm256_cvtepi8_epi64(bb));
+    const __m256d pa = _mm256_mul_pd(vsa, _mm256_loadu_pd(a + i));
+    const __m256d pb = _mm256_mul_pd(vsb, _mm256_loadu_pd(b + i));
+    const __m256d sum = _mm256_add_pd(pa, pb);
+    const __m256d both = _mm256_and_pd(vma, vmb);
+    const __m256d only_a = _mm256_andnot_pd(vmb, vma);
+    const __m256d only_b = _mm256_andnot_pd(vma, vmb);
+    const __m256d out = _mm256_or_pd(
+        _mm256_and_pd(both, sum),
+        _mm256_or_pd(_mm256_and_pd(only_a, pa), _mm256_and_pd(only_b, pb)));
+    _mm256_storeu_pd(c + i, out);
+    const std::uint32_t mu = load_mask_u32(ma + i) | load_mask_u32(mb + i);
+    std::memcpy(mc + i, &mu, sizeof mu);
+  }
+  if (i < n) s_blend_planes(sa, a + i, ma + i, sb, b + i, mb + i, c + i,
+                            mc + i, n - i);
+}
+
+__attribute__((target("avx2"))) void avx2_scale_plane(
+    double s, const double* a, const std::uint8_t* ma, double* c,
+    std::uint8_t* mc, std::size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i ba =
+        _mm_cvtsi32_si128(static_cast<int>(load_mask_u32(ma + i)));
+    const __m256d vma = _mm256_castsi256_pd(_mm256_cvtepi8_epi64(ba));
+    const __m256d out =
+        _mm256_and_pd(vma, _mm256_mul_pd(vs, _mm256_loadu_pd(a + i)));
+    _mm256_storeu_pd(c + i, out);
+    const std::uint32_t mu = load_mask_u32(ma + i);
+    std::memcpy(mc + i, &mu, sizeof mu);
+  }
+  if (i < n) s_scale_plane(s, a + i, ma + i, c + i, mc + i, n - i);
+}
+
+__attribute__((target("avx2"))) double avx2_max_abs_plane(const double* c,
+                                                          std::size_t n) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  __m256d vm = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vm = _mm256_max_pd(vm, _mm256_andnot_pd(sign, _mm256_loadu_pd(c + i)));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, vm);
+  double m = std::max(std::max(lanes[0], lanes[1]),
+                      std::max(lanes[2], lanes[3]));
+  for (; i < n; ++i) m = std::max(m, std::abs(c[i]));
+  return m;
+}
+
+__attribute__((target("avx2"))) void avx2_drop_small_plane(double* c,
+                                                           std::uint8_t* mc,
+                                                           double thr,
+                                                           std::size_t n) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d vthr = _mm256_set1_pd(thr);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vc = _mm256_loadu_pd(c + i);
+    const __m256d keep =
+        _mm256_cmp_pd(_mm256_andnot_pd(sign, vc), vthr, _CMP_GT_OQ);
+    _mm256_storeu_pd(c + i, _mm256_and_pd(keep, vc));
+    const int bits = _mm256_movemask_pd(keep);
+    for (int k = 0; k < 4; ++k) {
+      if ((bits & (1 << k)) == 0) mc[i + static_cast<std::size_t>(k)] = 0;
+    }
+  }
+  if (i < n) s_drop_small_plane(c + i, mc + i, thr, n - i);
+}
+
+// Reductions keep the bit-identity contract by vectorizing only the
+// *products* (_mm256_mul_pd rounds each lane exactly like the scalar `*`)
+// and feeding them through the same single left-to-right add chain as the
+// scalar kernels. The chain is the latency floor either way; lifting the
+// multiplies off it is what the vector forms buy.
+__attribute__((target("avx2"))) double avx2_variance_plane(const double* a,
+                                                           const double* s2,
+                                                           std::size_t n) {
+  double acc = 0.0;
+  alignas(32) double t[8];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d va0 = _mm256_loadu_pd(a + i);
+    const __m256d va1 = _mm256_loadu_pd(a + i + 4);
+    _mm256_store_pd(t, _mm256_mul_pd(_mm256_mul_pd(va0, va0),
+                                     _mm256_loadu_pd(s2 + i)));
+    _mm256_store_pd(t + 4, _mm256_mul_pd(_mm256_mul_pd(va1, va1),
+                                         _mm256_loadu_pd(s2 + i + 4)));
+    for (int k = 0; k < 8; ++k) acc += t[k];
+  }
+  for (; i < n; ++i) acc += a[i] * a[i] * s2[i];
+  return acc;
+}
+
+__attribute__((target("avx2"))) pair_result avx2_moments2_planes(
+    const double* a, const double* b, const double* s2, std::size_t n) {
+  double va = 0.0;
+  double vb = 0.0;
+  alignas(32) double ta[4];
+  alignas(32) double tb[4];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vs2 = _mm256_loadu_pd(s2 + i);
+    const __m256d xa = _mm256_loadu_pd(a + i);
+    const __m256d xb = _mm256_loadu_pd(b + i);
+    _mm256_store_pd(ta, _mm256_mul_pd(_mm256_mul_pd(xa, xa), vs2));
+    _mm256_store_pd(tb, _mm256_mul_pd(_mm256_mul_pd(xb, xb), vs2));
+    for (int k = 0; k < 4; ++k) {
+      va += ta[k];
+      vb += tb[k];
+    }
+  }
+  for (; i < n; ++i) {
+    va += a[i] * a[i] * s2[i];
+    vb += b[i] * b[i] * s2[i];
+  }
+  return {va, vb};
+}
+
+__attribute__((target("avx2"))) double avx2_covariance_planes(
+    const double* a, const double* b, const double* s2, std::size_t n) {
+  double acc = 0.0;
+  alignas(32) double t[4];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d p =
+        _mm256_mul_pd(_mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                    _mm256_loadu_pd(b + i)),
+                      _mm256_loadu_pd(s2 + i));
+    _mm256_store_pd(t, p);
+    acc += t[0];
+    acc += t[1];
+    acc += t[2];
+    acc += t[3];
+  }
+  for (; i < n; ++i) acc += a[i] * b[i] * s2[i];
+  return acc;
+}
+
+__attribute__((target("avx2"))) double avx2_sigma_diff_sq_planes(
+    const double* a, const double* b, const double* s2, std::size_t n) {
+  double acc = 0.0;
+  alignas(32) double t[4];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d p =
+        _mm256_mul_pd(_mm256_mul_pd(d, d), _mm256_loadu_pd(s2 + i));
+    _mm256_store_pd(t, p);
+    acc += t[0];
+    acc += t[1];
+    acc += t[2];
+    acc += t[3];
+  }
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d * s2[i];
+  }
+  return acc;
+}
+
+__attribute__((target("avx2"))) bool avx2_planes_equal(
+    const double* a, const std::uint8_t* ma, const double* b,
+    const std::uint8_t* mb, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (load_mask_u32(ma + i) != load_mask_u32(mb + i)) return false;
+    const __m256d eq = _mm256_cmp_pd(_mm256_loadu_pd(a + i),
+                                     _mm256_loadu_pd(b + i), _CMP_EQ_OQ);
+    if (_mm256_movemask_pd(eq) != 0xF) return false;
+  }
+  return i >= n || s_planes_equal(a + i, ma + i, b + i, mb + i, n - i);
+}
+
+const kernel_table k_avx2_table = {
+    kernel_isa::avx2,       avx2_blend_planes,    avx2_scale_plane,
+    avx2_max_abs_plane,     avx2_drop_small_plane, avx2_variance_plane,
+    avx2_moments2_planes,   avx2_covariance_planes,
+    avx2_sigma_diff_sq_planes,
+    avx2_planes_equal,      s_popcount_mask,
+};
+
+#endif  // VABI_X86
+
+// ---------------------------------------------------------------------------
+// aarch64 NEON (baseline on that target).
+// ---------------------------------------------------------------------------
+
+#ifdef VABI_NEON
+
+inline uint64x2_t neon_mask2(const std::uint8_t* m) {
+  return vcombine_u64(vcreate_u64(m[0] ? ~0ull : 0ull),
+                      vcreate_u64(m[1] ? ~0ull : 0ull));
+}
+
+void neon_blend_planes(double sa, const double* a, const std::uint8_t* ma,
+                       double sb, const double* b, const std::uint8_t* mb,
+                       double* c, std::uint8_t* mc, std::size_t n) {
+  const float64x2_t vsa = vdupq_n_f64(sa);
+  const float64x2_t vsb = vdupq_n_f64(sb);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t vma = neon_mask2(ma + i);
+    const uint64x2_t vmb = neon_mask2(mb + i);
+    const float64x2_t pa = vmulq_f64(vsa, vld1q_f64(a + i));
+    const float64x2_t pb = vmulq_f64(vsb, vld1q_f64(b + i));
+    const float64x2_t sum = vaddq_f64(pa, pb);
+    // bsl(both, sum, bsl(ma, pa, pb)) then clear absent slots to 0.0.
+    const uint64x2_t both = vandq_u64(vma, vmb);
+    const uint64x2_t any = vorrq_u64(vma, vmb);
+    float64x2_t out = vbslq_f64(vma, pa, pb);
+    out = vbslq_f64(both, sum, out);
+    out = vreinterpretq_f64_u64(
+        vandq_u64(any, vreinterpretq_u64_f64(out)));
+    vst1q_f64(c + i, out);
+    mc[i] = (ma[i] | mb[i]) ? 0xFF : 0;
+    mc[i + 1] = (ma[i + 1] | mb[i + 1]) ? 0xFF : 0;
+  }
+  if (i < n) s_blend_planes(sa, a + i, ma + i, sb, b + i, mb + i, c + i,
+                            mc + i, n - i);
+}
+
+void neon_scale_plane(double s, const double* a, const std::uint8_t* ma,
+                      double* c, std::uint8_t* mc, std::size_t n) {
+  const float64x2_t vs = vdupq_n_f64(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t vma = neon_mask2(ma + i);
+    const float64x2_t out = vreinterpretq_f64_u64(vandq_u64(
+        vma, vreinterpretq_u64_f64(vmulq_f64(vs, vld1q_f64(a + i)))));
+    vst1q_f64(c + i, out);
+    mc[i] = ma[i] ? 0xFF : 0;
+    mc[i + 1] = ma[i + 1] ? 0xFF : 0;
+  }
+  if (i < n) s_scale_plane(s, a + i, ma + i, c + i, mc + i, n - i);
+}
+
+double neon_max_abs_plane(const double* c, std::size_t n) {
+  float64x2_t vm = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vm = vmaxq_f64(vm, vabsq_f64(vld1q_f64(c + i)));
+  }
+  double m = std::max(vgetq_lane_f64(vm, 0), vgetq_lane_f64(vm, 1));
+  for (; i < n; ++i) m = std::max(m, std::abs(c[i]));
+  return m;
+}
+
+const kernel_table k_neon_table = {
+    kernel_isa::neon,       neon_blend_planes,    neon_scale_plane,
+    neon_max_abs_plane,     s_drop_small_plane,   s_variance_plane,
+    s_moments2_planes,      s_covariance_planes,  s_sigma_diff_sq_planes,
+    s_planes_equal,         s_popcount_mask,
+};
+
+#endif  // VABI_NEON
+
+kernel_isa best_available() {
+#ifdef VABI_X86
+  if (__builtin_cpu_supports("avx2")) return kernel_isa::avx2;
+  return kernel_isa::sse2;
+#elif defined(VABI_NEON)
+  return kernel_isa::neon;
+#else
+  return kernel_isa::scalar;
+#endif
+}
+
+std::atomic<const kernel_table*> g_active{nullptr};
+
+const kernel_table* resolve(kernel_isa isa) {
+  switch (isa) {
+    case kernel_isa::scalar:
+      return &k_scalar_table;
+#ifdef VABI_X86
+    case kernel_isa::sse2:
+      return &k_sse2_table;
+    case kernel_isa::avx2:
+      if (__builtin_cpu_supports("avx2")) return &k_avx2_table;
+      return &k_sse2_table;
+#endif
+#ifdef VABI_NEON
+    case kernel_isa::neon:
+      return &k_neon_table;
+#endif
+    default:
+      return &k_scalar_table;
+  }
+}
+
+kernel_isa parse_isa(const std::string& name, kernel_isa fallback) {
+  if (name == "scalar") return kernel_isa::scalar;
+  if (name == "sse2") return kernel_isa::sse2;
+  if (name == "avx2") return kernel_isa::avx2;
+  if (name == "neon") return kernel_isa::neon;
+  return fallback;
+}
+
+const kernel_table* init_from_env() {
+  kernel_isa isa = best_available();
+  if (const char* env = std::getenv("VABI_FORCE_KERNEL")) {
+    isa = parse_isa(env, isa);
+  }
+  return resolve(isa);
+}
+
+}  // namespace
+
+const char* to_string(kernel_isa isa) {
+  switch (isa) {
+    case kernel_isa::scalar:
+      return "scalar";
+    case kernel_isa::sse2:
+      return "sse2";
+    case kernel_isa::avx2:
+      return "avx2";
+    case kernel_isa::neon:
+      return "neon";
+  }
+  return "?";
+}
+
+const kernel_table& active() {
+  const kernel_table* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = init_from_env();
+    const kernel_table* expected = nullptr;
+    // First resolver wins; racing threads resolve to the same table anyway.
+    if (!g_active.compare_exchange_strong(expected, t,
+                                          std::memory_order_acq_rel)) {
+      t = expected;
+    }
+  }
+  return *t;
+}
+
+kernel_isa active_isa() { return active().isa; }
+
+kernel_isa set_forced_isa(const char* name) {
+  const kernel_table* t =
+      (name == nullptr || *name == '\0')
+          ? init_from_env()
+          : resolve(parse_isa(name, best_available()));
+  g_active.store(t, std::memory_order_release);
+  return t->isa;
+}
+
+const kernel_table& table_for(kernel_isa isa) { return *resolve(isa); }
+
+bool isa_available(kernel_isa isa) { return resolve(isa)->isa == isa; }
+
+// ---------------------------------------------------------------------------
+// aligned_doubles
+// ---------------------------------------------------------------------------
+
+aligned_doubles::aligned_doubles(const aligned_doubles& other) {
+  if (other.size_ != 0) {
+    data_ = static_cast<double*>(
+        ::operator new(other.size_ * sizeof(double), std::align_val_t{64}));
+    std::memcpy(data_, other.data_, other.size_ * sizeof(double));
+    size_ = other.size_;
+    cap_ = other.size_;
+  }
+}
+
+aligned_doubles& aligned_doubles::operator=(const aligned_doubles& other) {
+  if (this != &other) {
+    aligned_doubles copy{other};
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+aligned_doubles::aligned_doubles(aligned_doubles&& other) noexcept
+    : data_{other.data_}, size_{other.size_}, cap_{other.cap_} {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.cap_ = 0;
+}
+
+aligned_doubles& aligned_doubles::operator=(aligned_doubles&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = other.data_;
+    size_ = other.size_;
+    cap_ = other.cap_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.cap_ = 0;
+  }
+  return *this;
+}
+
+void aligned_doubles::push_back(double v) {
+  if (size_ == cap_) {
+    const std::size_t cap = cap_ == 0 ? 64 : cap_ * 2;
+    double* p = static_cast<double*>(
+        ::operator new(cap * sizeof(double), std::align_val_t{64}));
+    if (size_ != 0) std::memcpy(p, data_, size_ * sizeof(double));
+    release();
+    data_ = p;
+    cap_ = cap;
+  }
+  data_[size_++] = v;
+}
+
+void aligned_doubles::release() {
+  if (data_ != nullptr) {
+    ::operator delete(data_, std::align_val_t{64});
+    data_ = nullptr;
+  }
+}
+
+}  // namespace vabi::stats::kernels

@@ -26,6 +26,7 @@ source_id variation_space::add_source(source_kind kind, double sigma,
   }
   const auto id = static_cast<source_id>(sigmas_.size());
   sigmas_.push_back(sigma);
+  sigma2_.push_back(sigma * sigma);
   kinds_.push_back(kind);
   names_.push_back(std::move(name));
   return id;

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "stats/kernels.hpp"
+
 namespace vabi::stats {
 
 /// Identifier of a variation source within a variation_space.
@@ -54,11 +56,18 @@ class variation_space {
   /// All sigmas, indexed by source id (used by the Monte-Carlo sampler).
   const std::vector<double>& sigmas() const { return sigmas_; }
 
+  /// 64-byte-aligned sigma^2 table indexed by source id -- the dense
+  /// reduction kernels stream it sequentially. Each entry is the exact
+  /// product sigma(id) * sigma(id), i.e. bit-identical to `variance(id)`.
+  const double* sigma2_data() const { return sigma2_.data(); }
+  double sigma2(source_id id) const { return sigma2_.data()[id]; }
+
   /// Number of registered sources of a given kind.
   std::size_t count(source_kind kind) const;
 
  private:
   std::vector<double> sigmas_;
+  kernels::aligned_doubles sigma2_;
   std::vector<source_kind> kinds_;
   std::vector<std::string> names_;
 };

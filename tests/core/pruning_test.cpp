@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <random>
+
+#include "stats/rng.hpp"
+
 namespace vabi::core {
 namespace {
 
@@ -224,6 +230,142 @@ TEST_F(TwoParamTest, CornerPruneTotalOrder) {
   }
   prune_corner(rule, list, space_, s);
   EXPECT_EQ(list.size(), 1u);  // strictly worse in both -> collapse
+}
+
+// ---------------------------------------------------------------------------
+// Prefilter / sigma-memo / moment-cache equivalence. The interval prefilter
+// and the cached moments are pure accelerations: dominates() must return
+// exactly what the direct probability formula returns, for every pair.
+// ---------------------------------------------------------------------------
+
+class PrefilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 6; ++i) {
+      ids_[i] =
+          space_.add_source(stats::source_kind::random_device, 0.4 + 0.3 * i);
+    }
+  }
+
+  /// The 2P dominance condition written directly from eqs. (6)-(7), with the
+  /// identical-form tie convention -- the definition dominates() accelerates.
+  bool reference_dominates(const two_param_rule& rule, const stat_candidate& a,
+                           const stat_candidate& b) const {
+    const bool load_ok = a.load == b.load ||
+                         stats::prob_greater(b.load, a.load, space_) >=
+                             rule.p_load;
+    const bool rat_ok =
+        b.rat == a.rat ||
+        stats::prob_greater(a.rat, b.rat, space_) >= rule.p_rat;
+    return load_ok && rat_ok;
+  }
+
+  stat_candidate random_cand(stats::rng_engine& rng, double mean_span) const {
+    std::uniform_real_distribution<double> mean(-mean_span, mean_span);
+    std::uniform_real_distribution<double> coeff(-0.2, 0.2);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    std::vector<stats::lf_term> lt, rt;
+    for (const auto id : ids_) {
+      if (unit(rng) < 0.7) lt.push_back({id, coeff(rng)});
+      if (unit(rng) < 0.7) rt.push_back({id, 5.0 * coeff(rng)});
+    }
+    return make_cand(mean(rng), 10.0 * mean(rng), std::move(lt),
+                     std::move(rt));
+  }
+
+  stats::variation_space space_;
+  stats::source_id ids_[6] = {};
+};
+
+TEST_F(PrefilterTest, DominatesMatchesDirectFormula) {
+  // mean_span sweeps the three prefilter regimes: tiny separations (always
+  // fall through to the exact pass), comparable (mixed), and huge (almost
+  // every pair resolves in the prefilter). In all of them the decision must
+  // equal the direct formula.
+  for (const double p : {0.6, 0.8, 0.99}) {
+    const two_param_rule rule{p, p};
+    for (const double mean_span : {0.01, 1.0, 100.0}) {
+      auto rng = stats::make_rng(42, static_cast<std::uint64_t>(p * 100) +
+                                         static_cast<std::uint64_t>(mean_span));
+      std::vector<stat_candidate> cands;
+      for (int i = 0; i < 24; ++i) cands.push_back(random_cand(rng, mean_span));
+      cands.push_back(make_cand(0.0, 0.0));  // zero-sigma corner
+      cands.push_back(cands.front());        // identical-form tie corner
+      for (const auto& a : cands) {
+        for (const auto& b : cands) {
+          EXPECT_EQ(dominates(rule, a, b, space_),
+                    reference_dominates(rule, a, b))
+              << "p=" << p << " span=" << mean_span;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(PrefilterTest, PrefilterHitsAreCountedOnSeparatedPairs) {
+  // Far-separated means with small sigmas: every probability comparison is
+  // decided by the mean +- k*sigma interval, so the sweep should record
+  // prefilter hits and still keep exactly the Pareto front.
+  const two_param_rule rule{0.9, 0.9};
+  dp_stats s;
+  std::vector<stat_candidate> list;
+  for (int i = 0; i < 8; ++i) {
+    list.push_back(make_cand(10.0 * i, 500.0 - 100.0 * i,
+                             {{ids_[0], 0.01}}, {{ids_[1], 0.02}}));
+  }
+  list.push_back(make_cand(5.0, -1e4, {{ids_[2], 0.01}}, {{ids_[3], 0.02}}));
+  prune_two_param(rule, list, space_, s);
+  EXPECT_GT(s.dominance_prefilter_hits, 0u);
+  EXPECT_TRUE(is_mutually_non_dominated(rule, list, space_));
+}
+
+TEST_F(PrefilterTest, SigmaDiffCacheIsSymmetricAndExact) {
+  auto rng = stats::make_rng(7);
+  const auto a = random_cand(rng, 1.0);
+  const auto b = random_cand(rng, 1.0);
+  sigma_diff_cache cache;
+  const double xy = cache.get(a.load, b.load, space_);
+  const double yx = cache.get(b.load, a.load, space_);
+  const double direct = stats::sigma_of_difference(a.load, b.load, space_);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(xy),
+            std::bit_cast<std::uint64_t>(direct));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(yx),
+            std::bit_cast<std::uint64_t>(direct));
+}
+
+TEST_F(PrefilterTest, CachedDominatesMatchesUncached) {
+  auto rng = stats::make_rng(11);
+  const two_param_rule rule{0.75, 0.85};
+  std::vector<stat_candidate> cands;
+  for (int i = 0; i < 12; ++i) cands.push_back(random_cand(rng, 0.5));
+  sigma_diff_cache cache;
+  for (const auto& a : cands) {
+    for (const auto& b : cands) {
+      EXPECT_EQ(dominates(rule, a, b, space_, cache),
+                dominates(rule, a, b, space_));
+    }
+  }
+  EXPECT_EQ(is_mutually_non_dominated(rule, cands, space_),
+            is_mutually_non_dominated<two_param_rule>(rule, cands, space_));
+}
+
+TEST_F(PrefilterTest, MomentCacheLazyAndInvalidates) {
+  const auto c = make_cand(1.0, 2.0, {{ids_[0], 0.25}, {ids_[1], -0.5}},
+                           {{ids_[2], 1.5}});
+  const double direct_load = c.load.variance(space_);
+  const double direct_rat = c.rat.variance(space_);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(c.load_variance(space_)),
+            std::bit_cast<std::uint64_t>(direct_load));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(c.rat_variance(space_)),
+            std::bit_cast<std::uint64_t>(direct_rat));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(c.load_stddev(space_)),
+            std::bit_cast<std::uint64_t>(std::sqrt(direct_load)));
+  // Cached bits survive repeat queries.
+  EXPECT_EQ(c.load_variance(space_), direct_load);
+  c.invalidate_load_moments();
+  c.invalidate_rat_moments();
+  EXPECT_EQ(c.load_variance(space_), direct_load);
+  EXPECT_EQ(c.rat_variance(space_), direct_rat);
 }
 
 }  // namespace
