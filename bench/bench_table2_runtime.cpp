@@ -22,6 +22,7 @@
 #include "core/parallel.hpp"
 #include "harness.hpp"
 #include "json_out.hpp"
+#include "tree/generators.hpp"
 
 namespace {
 
@@ -141,6 +142,98 @@ int main(int argc, char** argv) {
     }
   }
   t.print(std::cout);
+
+  // -- Library-size axis (Li-Shi) -------------------------------------------
+  //
+  // Runtime vs number of buffer types b, frontier (li_shi.hpp) against the
+  // classic per-type scan, for the deterministic engine and the 2P mean
+  // statistical engine. The scan is O(b^2 n^2); the frontier's near-linear
+  // scaling in b is the Li-Shi claim this table checks (the CI perf gate
+  // reads the JSON records).
+  std::cout << "\n=== Library-size axis: Li-Shi frontier vs scan ===\n";
+  analysis::text_table tb{{"b", "det scan (s)", "det li-shi (s)", "det speedup",
+                           "2P scan (s)", "2P li-shi (s)", "2P speedup"}};
+  const std::vector<std::size_t> lib_sizes =
+      smoke ? std::vector<std::size_t>{8, 64}
+            : std::vector<std::size_t>{8, 64, 128, 256};
+  // A long repeater chain is the workload where the b^2 blow-up actually
+  // bites: candidate fronts grow into the hundreds, so the scan pays
+  // b * |front| at every position. Random geometric trees keep fronts short
+  // (merges cap them) and understate the effect. The statistical net is a
+  // shorter chain: its per-candidate cost is dominated by canonical-form
+  // pooled ops, which the frontier does not touch -- expect the det column
+  // to carry the headline speedup and the 2P column a modest one.
+  tree::chain_options det_chain;
+  det_chain.length_um = 40000.0;
+  det_chain.segments = smoke ? 1000 : 4000;
+  const auto det_net = tree::make_chain(det_chain);
+  tree::chain_options stat_chain;
+  stat_chain.length_um = 40000.0;
+  stat_chain.segments = smoke ? 200 : 800;
+  const auto stat_net = tree::make_chain(stat_chain);
+  const auto stat_model_cfg =
+      bench::make_model_config(cfg, layout::wid_mode(), profile);
+
+  for (const std::size_t b : lib_sizes) {
+    const auto lib = timing::make_parameterized_library(b);
+    double det_s[2];  // [scan, frontier]
+    double stat_s[2];
+    std::uint64_t stat_nodes[2];
+    for (const int fr : {0, 1}) {
+      core::det_options det;
+      det.wire = cfg.wire;
+      det.library = lib;
+      det.driver_res_ohm = cfg.driver_res_ohm;
+      det.li_shi = fr ? core::li_shi_mode::always : core::li_shi_mode::never;
+      // Best of two: back-to-back runs share allocator and arena state, and
+      // the second run of a pair is occasionally penalized by the first
+      // one's footprint; the min is the stable figure for the CI perf gate.
+      auto rd = core::run_van_ginneken(det_net, det);
+      const auto rd2 = core::run_van_ginneken(det_net, det);
+      if (rd2.stats.wall_seconds < rd.stats.wall_seconds) rd = rd2;
+      det_s[fr] = rd.stats.wall_seconds;
+
+      core::stat_options so =
+          bench::make_stat_options(cfg, core::pruning_kind::two_param);
+      so.library = lib;
+      // Mean selection: the total-order regime the frontier engages in (the
+      // yield-driven 0.05 selection takes the general scan path either way).
+      so.selection_percentile = 0.5;
+      so.li_shi = fr ? core::li_shi_mode::always : core::li_shi_mode::never;
+      layout::process_model model{layout::square_die(det_chain.length_um),
+                                  stat_model_cfg};
+      const auto rs = core::run_statistical_insertion(stat_net, model, so);
+      stat_s[fr] = rs.stats.wall_seconds;
+      stat_nodes[fr] = rs.stats.li_shi_nodes;
+
+      json.begin()
+          .str("section", "b_axis")
+          .num("b", static_cast<std::uint64_t>(b))
+          .str("li_shi", fr ? "always" : "never")
+          .num("det_segments",
+               static_cast<std::uint64_t>(det_chain.segments))
+          .num("stat_segments",
+               static_cast<std::uint64_t>(stat_chain.segments))
+          .num("det_seconds", rd.stats.wall_seconds)
+          .num("stat_seconds", rs.stats.wall_seconds)
+          .num("det_candidates",
+               static_cast<std::uint64_t>(rd.stats.candidates_created))
+          .num("stat_candidates",
+               static_cast<std::uint64_t>(rs.stats.candidates_created))
+          .num("det_peak_list",
+               static_cast<std::uint64_t>(rd.stats.peak_list_size))
+          .num("li_shi_nodes", stat_nodes[fr])
+          .num("num_buffers", static_cast<std::uint64_t>(rd.num_buffers));
+    }
+    tb.add_row({std::to_string(b), analysis::fmt(det_s[0], 3),
+                analysis::fmt(det_s[1], 3),
+                analysis::fmt(det_s[0] / std::max(det_s[1], 1e-9), 1) + "x",
+                analysis::fmt(stat_s[0], 3), analysis::fmt(stat_s[1], 3),
+                analysis::fmt(stat_s[0] / std::max(stat_s[1], 1e-9), 1) +
+                    "x"});
+  }
+  tb.print(std::cout);
+
   const std::string json_path = bench::parse_json_path(argc, argv);
   if (json.write(json_path, "table2_runtime")) {
     std::cout << "(json artifact: " << json_path << ")\n";

@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
-"""Warn-only perf smoke: diff a bench_micro_ops JSON run against the baseline.
+"""Perf smoke: diff a bench_micro_ops JSON run against the committed baseline.
 
 Compares per-benchmark real_time (ns/op) in google-benchmark's JSON format.
 Prints a table of ratios and emits a GitHub Actions `::warning::` annotation
-for every benchmark slower than --max-ratio times its baseline. Always exits
-0 on well-formed input: CI hardware is noisy and shared, so regressions here
-flag a PR for a human look rather than block it. (Bit-identity, not speed,
-is what the test suite enforces.)
+for every benchmark slower than --max-ratio times its baseline.
+
+With --fail-ratio set, the smoke *gates*: any benchmark slower than
+fail-ratio times its baseline emits a `::error::` annotation and the script
+exits 1 (CI fails the job). Without it the script always exits 0 on
+well-formed input -- the historical warn-only behavior. The two thresholds
+compose: warn early at --max-ratio, fail hard at --fail-ratio (set the
+fail threshold above the warn one and above the hardware noise floor; the
+suite enforces bit-identity, this enforces that the bit-identical code also
+stays fast).
 
 Usage:
   perf_smoke_diff.py CURRENT.json [--baseline bench/baselines/...json]
-                     [--max-ratio 1.5]
+                     [--max-ratio 1.5] [--fail-ratio 2.0]
 """
 
 import argparse
@@ -46,7 +52,17 @@ def main():
         default=1.5,
         help="warn when current/baseline exceeds this",
     )
+    ap.add_argument(
+        "--fail-ratio",
+        type=float,
+        default=None,
+        help="exit 1 when current/baseline exceeds this (default: warn only)",
+    )
     args = ap.parse_args()
+    if args.fail_ratio is not None and args.fail_ratio < args.max_ratio:
+        print(f"::error::perf smoke: --fail-ratio {args.fail_ratio} below "
+              f"--max-ratio {args.max_ratio}")
+        return 2
 
     base = load_times(args.baseline)
     cur = load_times(args.current)
@@ -58,6 +74,7 @@ def main():
     shared = sorted(set(base) & set(cur))
     missing = sorted(set(base) - set(cur))
     slow = []
+    failed = []
     width = max((len(n) for n in shared), default=10)
     print(f"{'benchmark':<{width}}  {'base ns':>10}  {'cur ns':>10}  ratio")
     for name in shared:
@@ -65,18 +82,24 @@ def main():
         flag = "  <-- slow" if ratio > args.max_ratio else ""
         print(f"{name:<{width}}  {base[name]:>10.1f}  {cur[name]:>10.1f}  "
               f"{ratio:>5.2f}{flag}")
-        if ratio > args.max_ratio:
+        if args.fail_ratio is not None and ratio > args.fail_ratio:
+            failed.append((name, ratio))
+        elif ratio > args.max_ratio:
             slow.append((name, ratio))
 
     for name, ratio in slow:
         print(f"::warning::perf smoke: {name} is {ratio:.2f}x its baseline "
               f"(limit {args.max_ratio}x)")
+    for name, ratio in failed:
+        print(f"::error::perf smoke: {name} is {ratio:.2f}x its baseline "
+              f"(fail limit {args.fail_ratio}x)")
     for name in missing:
         print(f"::warning::perf smoke: baseline benchmark {name} missing "
               f"from current run")
     print(f"perf smoke: {len(shared)} compared, {len(slow)} above "
-          f"{args.max_ratio}x, {len(missing)} missing")
-    return 0
+          f"{args.max_ratio}x, {len(failed)} above fail limit, "
+          f"{len(missing)} missing")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

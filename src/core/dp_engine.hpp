@@ -178,6 +178,21 @@ class worker_arena {
 using device_fn =
     std::function<layout::device_variation(tree::node_id, timing::buffer_index)>;
 
+/// Li-Shi per-type frontier state of one worker (li_shi.hpp). The frontier
+/// itself is built once per run by the driver and is read-only (shareable
+/// across a parallel run's workers); the scratch vectors are per worker.
+/// A null frontier -- or a rule whose order is not total -- keeps the
+/// worker on the classic scan path.
+struct li_shi_state {
+  const buffer_frontier* frontier = nullptr;
+  std::vector<layout::device_variation> devices;  ///< gathered per node
+  std::vector<std::size_t> best;                  ///< per-type argmax output
+  std::vector<double> loads;   ///< packed mean loads (D&C eval keys)
+  std::vector<double> rats;    ///< packed mean RATs
+  std::vector<double> delays;  ///< packed mean device delays per type
+  std::vector<double> res;     ///< packed library resistances (per run)
+};
+
 /// Resource-cap state shared by all workers of one parallel run. Counters are
 /// published at node granularity, so cap enforcement is as prompt as the
 /// serial engine's up to one in-flight node per worker. Which node trips a
@@ -315,6 +330,10 @@ struct dp_worker {
   worker_arena& pool;
   dp_stats& dps;
   resource_guard guard;
+  /// Non-null only when the driver enabled the Li-Shi frontier for this run
+  /// (2P mean rule with mean selection; see stat_options::li_shi). Defaulted
+  /// so the existing aggregate-initialization sites stay valid.
+  li_shi_state* li_shi = nullptr;
 
   bool over_budget(std::size_t list_size) { return guard.over_budget(list_size); }
 
@@ -481,9 +500,61 @@ struct dp_worker {
     return rat.mean();
   }
 
-  void add_buffered_candidates(cand_list& list, tree::node_id id) {
+  /// Returns true when the Li-Shi frontier path ran (the caller then prunes
+  /// with the presorted variant instead of the full re-sort).
+  bool add_buffered_candidates(cand_list& list, tree::node_id id) {
     const std::size_t base = list.size();
-    if (base == 0) return;
+    if (base == 0) return false;
+    const bool mean_rule = options.rule == pruning_kind::two_param &&
+                           options.two_param.is_mean_rule() &&
+                           options.selection_percentile == 0.5;
+    if (mean_rule && li_shi != nullptr) {
+      // Li-Shi frontier (li_shi.hpp): one monotone divide-and-conquer pass
+      // over the mean keys replaces the per-type scans. Devices are gathered
+      // b-ascending first (the characterization order allocates source ids,
+      // so it is part of the bit-identity contract), then the winners are
+      // located without touching the pools, then the buffered candidates are
+      // emitted b-ascending -- the scan path's exact pooled-op sequence per
+      // type (cap copy, RAT subs) with the identical selections.
+      auto& devs = li_shi->devices;
+      devs.clear();
+      li_shi->delays.clear();
+      for (timing::buffer_index b = 0; b < options.library.size(); ++b) {
+        devs.push_back(devices(id, b));
+        li_shi->delays.push_back(devs.back().delay.mean());
+      }
+      // Pack the per-candidate mean keys contiguously: the divide-and-conquer
+      // revisits rows many times and the packed reads keep it out of the
+      // canonical forms entirely.
+      li_shi->loads.resize(base);
+      li_shi->rats.resize(base);
+      for (std::size_t k = 0; k < base; ++k) {
+        li_shi->loads[k] = list[k].load.mean();
+        li_shi->rats[k] = list[k].rat.mean();
+      }
+      if (li_shi->res.size() != options.library.size()) {
+        li_shi->res.clear();
+        for (timing::buffer_index b = 0; b < options.library.size(); ++b) {
+          li_shi->res.push_back(options.library[b].res_ohm);
+        }
+      }
+      li_shi->frontier->best_per_type(base, li_shi->loads.data(),
+                                      li_shi->rats.data(),
+                                      li_shi->delays.data(),
+                                      li_shi->res.data(), li_shi->best);
+      for (timing::buffer_index b = 0; b < options.library.size(); ++b) {
+        // npos (a NaN-poisoned device makes every key NaN) falls back to
+        // candidate 0 -- the scan path's best_k = 0 start -- so the poison
+        // survives to check_finite instead of an out-of-range read.
+        const std::size_t k =
+            li_shi->best[b] == li_shi_npos ? 0 : li_shi->best[b];
+        const stats::linear_form cap =
+            stats::pooled_copy(devs[b].cap, pool.scratch());
+        list.push_back(buffered(list[k], id, b, devs[b], cap));
+      }
+      ++dps.li_shi_nodes;
+      return true;
+    }
     for (timing::buffer_index b = 0; b < options.library.size(); ++b) {
       const auto& type = options.library[b];
       // One physical device per (node, type): every candidate buffered here
@@ -492,9 +563,7 @@ struct dp_worker {
       // Pin C_b into the scratch epoch once; every buffered candidate's load
       // then borrows it instead of copying the device form per candidate.
       const stats::linear_form cap = stats::pooled_copy(dv.cap, pool.scratch());
-      if (options.rule == pruning_kind::two_param &&
-          options.two_param.is_mean_rule() &&
-          options.selection_percentile == 0.5) {
+      if (mean_rule) {
         // Mean-rule fast path: the selection key is linear in means, so the
         // winner is found without materializing any candidate form.
         // best_k starts at 0 (not sentinel): with finite means some k always
@@ -532,6 +601,7 @@ struct dp_worker {
         if (best.has_value()) list.push_back(std::move(*best));
       }
     }
+    return false;
   }
 
   /// Computes the candidate list of `id` from its children's lists (which are
@@ -580,7 +650,16 @@ struct dp_worker {
         pool.retire_block(std::move(lists[child].slab));
         lists[child] = node_list{};
         propagate_wire(up, child, tree.node(child).parent_wire_um);
-        prune(up);
+        if (li_shi != nullptr && !menu.sizing_enabled() &&
+            options.rule == pruning_kind::two_param &&
+            options.two_param.is_mean_rule()) {
+          // Li-Shi path, single-width wires: the propagation shifts every
+          // mean load by the same wire cap, so the child's pruned (sorted)
+          // list is still sorted -- only the window-1 sweep is needed.
+          prune_two_param_mean_sorted(up, dps);
+        } else {
+          prune(up);
+        }
         if (here.empty()) {
           pool.release(std::move(here));
           here = std::move(up);
@@ -600,9 +679,16 @@ struct dp_worker {
     }
     if (dps.aborted) return;
     if (!n.is_source()) {
-      add_buffered_candidates(here, id);
+      const std::size_t base = here.size();
+      const bool frontier = add_buffered_candidates(here, id);
       if (over_budget(here.size())) return;
-      prune(here);
+      if (frontier) {
+        // Li-Shi path: the base is already pruned (sorted by mean load);
+        // place only the appended buffered candidates instead of re-sorting.
+        prune_two_param_mean_presorted(here, base, dps);
+      } else {
+        prune(here);
+      }
     }
     dps.peak_list_size = std::max(dps.peak_list_size, here.size());
     over_budget(here.size());

@@ -209,6 +209,7 @@ struct parallel_run {
     detail::worker_arena mem;
     dp_stats dps;
     std::size_t published = 0;
+    detail::li_shi_state li_shi;  ///< scratch is per worker; frontier shared
   };
 
   const tree::routing_tree& tree;
@@ -223,6 +224,10 @@ struct parallel_run {
   std::vector<detail::node_list> lists;
   std::vector<std::atomic<std::uint32_t>> pending;
   detail::shared_budget budget;
+  /// Li-Shi type frontier, built once and read-only afterwards -- safe to
+  /// share across workers. frontier_on mirrors the serial driver's gate.
+  buffer_frontier frontier;
+  bool frontier_on = false;
   std::latch done{1};
 
   stat_result root_result;
@@ -250,6 +255,14 @@ struct parallel_run {
           std::memory_order_relaxed);
     }
     budget.t_start = detail::dp_clock::now();
+    if (li_shi_enabled(options.li_shi, options.library.size()) &&
+        options.rule == pruning_kind::two_param &&
+        options.two_param.is_mean_rule() &&
+        options.selection_percentile == 0.5) {
+      frontier = buffer_frontier{options.library};
+      frontier_on = true;
+      for (auto& st : states) st.li_shi.frontier = &frontier;
+    }
   }
 
   detail::dp_worker make_worker(worker_state& st) {
@@ -265,7 +278,8 @@ struct parallel_run {
         st.mem,
         st.dps,
         detail::resource_guard{options, st.dps, st.published, &budget, cancel,
-                               {}}};
+                               {}},
+        frontier_on ? &st.li_shi : nullptr};
   }
 
   void fail(std::exception_ptr e) {
@@ -341,6 +355,7 @@ struct parallel_run {
       total.dense_forms += st.dps.dense_forms;
       total.terms_merged += st.dps.terms_merged;
       total.dominance_prefilter_hits += st.dps.dominance_prefilter_hits;
+      total.li_shi_nodes += st.dps.li_shi_nodes;
       // Prefer the worker that tripped a *primary* cause over workers that
       // merely observed the broadcast abort (code cancelled, reason
       // "aborted by another worker").

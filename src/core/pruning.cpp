@@ -94,23 +94,74 @@ bool det_dominates(const det_candidate& a, const det_candidate& b) {
   return a.load_pf <= b.load_pf && a.rat_ps >= b.rat_ps;
 }
 
-void prune_deterministic(std::vector<det_candidate>& list, dp_stats& stats) {
-  if (list.size() <= 1) return;
-  std::sort(list.begin(), list.end(),
-            [](const det_candidate& a, const det_candidate& b) {
-              if (a.load_pf != b.load_pf) return a.load_pf < b.load_pf;
-              return a.rat_ps > b.rat_ps;
-            });
-  std::vector<det_candidate> kept;
-  kept.reserve(list.size());
-  for (auto& c : list) {
-    if (!kept.empty() && kept.back().rat_ps >= c.rat_ps) {
+namespace {
+
+bool det_key_less(const det_candidate& a, const det_candidate& b) {
+  if (a.load_pf != b.load_pf) return a.load_pf < b.load_pf;
+  return a.rat_ps > b.rat_ps;
+}
+
+/// The shared sweep of the deterministic prunes: `list` sorted by
+/// (load asc, rat desc-on-ties) in, non-dominated subset out. In-place
+/// compaction: the write cursor never passes the read cursor, so no
+/// allocation and no second pass.
+void det_sweep(std::vector<det_candidate>& list, dp_stats& stats) {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < list.size(); ++r) {
+    if (w > 0 && list[w - 1].rat_ps >= list[r].rat_ps) {
       ++stats.candidates_pruned;  // dominated by the last kept candidate
       continue;
     }
-    kept.push_back(std::move(c));
+    if (w != r) list[w] = list[r];
+    ++w;
   }
+  list.resize(w);
+}
+
+}  // namespace
+
+void prune_deterministic(std::vector<det_candidate>& list, dp_stats& stats) {
+  if (list.size() <= 1) return;
+  std::sort(list.begin(), list.end(), det_key_less);
+  det_sweep(list, stats);
+}
+
+void prune_deterministic_presorted(std::vector<det_candidate>& list,
+                                   std::size_t sorted_prefix,
+                                   dp_stats& stats) {
+  if (list.size() <= 1) return;
+  const auto mid = list.begin() + static_cast<std::ptrdiff_t>(sorted_prefix);
+  std::sort(mid, list.end(), det_key_less);
+  // Fused stable merge + sweep: one pass, no inplace_merge temp buffer. On
+  // equal keys the base side goes first (stable-merge order), matching
+  // std::sort only up to bitwise key ties -- see the header contract.
+  std::vector<det_candidate> kept;
+  kept.reserve(list.size());
+  const auto take = [&kept, &stats](det_candidate& c) {
+    if (!kept.empty() && kept.back().rat_ps >= c.rat_ps) {
+      ++stats.candidates_pruned;
+      return;
+    }
+    kept.push_back(std::move(c));
+  };
+  std::size_t i = 0;
+  std::size_t j = sorted_prefix;
+  while (i < sorted_prefix && j < list.size()) {
+    if (det_key_less(list[j], list[i])) {
+      take(list[j++]);
+    } else {
+      take(list[i++]);
+    }
+  }
+  while (i < sorted_prefix) take(list[i++]);
+  while (j < list.size()) take(list[j++]);
   list = std::move(kept);
+}
+
+void prune_deterministic_sorted(std::vector<det_candidate>& list,
+                                dp_stats& stats) {
+  if (list.size() <= 1) return;
+  det_sweep(list, stats);
 }
 
 // ---------------------------------------------------------------------------
@@ -182,6 +233,63 @@ void prune_two_param(const two_param_rule& rule,
     kept.push_back(std::move(c));
   }
   list = std::move(kept);
+}
+
+void prune_two_param_mean_presorted(std::vector<stat_candidate>& list,
+                                    std::size_t sorted_prefix,
+                                    dp_stats& stats) {
+  if (list.size() <= 1) return;
+  const auto mean_less = [](const stat_candidate& a, const stat_candidate& b) {
+    if (a.load.mean() != b.load.mean()) {
+      return a.load.mean() < b.load.mean();
+    }
+    return a.rat.mean() > b.rat.mean();
+  };
+  const auto mid = list.begin() + static_cast<std::ptrdiff_t>(sorted_prefix);
+  std::sort(mid, list.end(), mean_less);
+  // Fused stable merge + the mean rule's window-1 sweep of prune_two_param
+  // (Lemma 4: the order is total, so the last survivor decides). One pass,
+  // no inplace_merge temp buffer.
+  std::vector<stat_candidate> kept;
+  kept.reserve(list.size());
+  const auto take = [&kept, &stats](stat_candidate& c) {
+    if (!kept.empty() && kept.back().load.mean() <= c.load.mean() &&
+        kept.back().rat.mean() >= c.rat.mean()) {
+      ++stats.candidates_pruned;
+      return;
+    }
+    kept.push_back(std::move(c));
+  };
+  std::size_t i = 0;
+  std::size_t j = sorted_prefix;
+  while (i < sorted_prefix && j < list.size()) {
+    if (mean_less(list[j], list[i])) {
+      take(list[j++]);
+    } else {
+      take(list[i++]);
+    }
+  }
+  while (i < sorted_prefix) take(list[i++]);
+  while (j < list.size()) take(list[j++]);
+  list = std::move(kept);
+}
+
+void prune_two_param_mean_sorted(std::vector<stat_candidate>& list,
+                                 dp_stats& stats) {
+  if (list.size() <= 1) return;
+  // The mean rule's window-1 sweep, in-place: the write cursor never passes
+  // the read cursor, so no allocation.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < list.size(); ++r) {
+    if (w > 0 && list[w - 1].load.mean() <= list[r].load.mean() &&
+        list[w - 1].rat.mean() >= list[r].rat.mean()) {
+      ++stats.candidates_pruned;
+      continue;
+    }
+    if (w != r) list[w] = std::move(list[r]);
+    ++w;
+  }
+  list.resize(w);
 }
 
 // ---------------------------------------------------------------------------

@@ -49,6 +49,30 @@ bool det_dominates(const det_candidate& a, const det_candidate& b);
 /// (load asc, rat asc). Linear after the sort. `stats` accrues prune counts.
 void prune_deterministic(std::vector<det_candidate>& list, dp_stats& stats);
 
+/// prune_deterministic for a list whose first `sorted_prefix` candidates are
+/// already pruned (strictly increasing loads) and whose tail is arbitrary --
+/// the shape the Li-Shi buffered step produces (sorted base + b appended
+/// buffered candidates). Sorts only the tail and merges: O((n - prefix) log
+/// (n - prefix) + n) instead of O(n log n), which is where the classic path's
+/// per-node re-sort cost goes. Same comparator and same sweep as
+/// prune_deterministic, so the surviving set is identical (the orders can
+/// differ only for candidates with bitwise-equal (load, rat) keys, where
+/// survival is value-equivalent either way; the Li-Shi differential suite
+/// pins actual equality).
+void prune_deterministic_presorted(std::vector<det_candidate>& list,
+                                   std::size_t sorted_prefix, dp_stats& stats);
+
+/// prune_deterministic for a list that is *entirely* sorted already (strictly
+/// increasing loads -- the post-prune invariant, which single-width in-place
+/// wire propagation preserves: every load shifts by the same wire cap).
+/// Skips the sort and runs the shared sweep in place: O(n), no allocation.
+/// Used by the Li-Shi path on the per-child re-prune after wire propagation,
+/// where the classic path's per-node sort is pure overhead. Same tie caveat
+/// as the presorted variant (a bitwise load tie manufactured by the constant
+/// shift is ordered as-is rather than re-sorted by rat).
+void prune_deterministic_sorted(std::vector<det_candidate>& list,
+                                dp_stats& stats);
+
 // ---------------------------------------------------------------------------
 // Two-parameter rule (2P).
 // ---------------------------------------------------------------------------
@@ -104,6 +128,23 @@ bool dominates(const two_param_rule& rule, const stat_candidate& a,
 void prune_two_param(const two_param_rule& rule,
                      std::vector<stat_candidate>& list,
                      const stats::variation_space& space, dp_stats& stats);
+
+/// prune_two_param for the *mean rule only*, on a list whose first
+/// `sorted_prefix` candidates are already pruned (strictly increasing mean
+/// loads): tail sort + linear merge + the same window-1 sweep. The mean-rule
+/// counterpart of prune_deterministic_presorted, used by the Li-Shi buffered
+/// step. Precondition: rule.is_mean_rule().
+void prune_two_param_mean_presorted(std::vector<stat_candidate>& list,
+                                    std::size_t sorted_prefix,
+                                    dp_stats& stats);
+
+/// The mean-rule counterpart of prune_deterministic_sorted: the list is
+/// already sorted by (mean load asc, mean rat desc) -- strictly increasing
+/// mean loads by the post-prune invariant, preserved by single-width wire
+/// propagation's constant mean shift -- so only the window-1 sweep runs,
+/// in place. Precondition: the caller is in the 2P mean-rule regime.
+void prune_two_param_mean_sorted(std::vector<stat_candidate>& list,
+                                 dp_stats& stats);
 
 // ---------------------------------------------------------------------------
 // Four-parameter rule (4P) -- the DATE 2005 baseline.

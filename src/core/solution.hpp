@@ -187,6 +187,11 @@ struct dp_stats {
   /// 2P dominance tests decided by the cached-moment interval prefilter,
   /// skipping the exact per-pair sigma-of-difference pass.
   std::size_t dominance_prefilter_hits = 0;
+  /// Buffer positions whose buffered-candidate step used the Li-Shi
+  /// per-type frontier (li_shi.hpp) instead of the per-type full scan.
+  /// A representation/organization counter like dense_forms: never part of
+  /// the bit-identity contract (the selected candidates are identical).
+  std::size_t li_shi_nodes = 0;
   double wall_seconds = 0.0;
   bool aborted = false;                ///< a resource cap fired (4P runs)
   std::string abort_reason;

@@ -202,6 +202,20 @@ stat_result run_statistical_impl(const tree::routing_tree& tree,
                    resource_guard{options, dps, published, nullptr, cancel,
                                   t_start}};
 
+  // Li-Shi per-type frontier (li_shi.hpp): engages only in the total-order
+  // regime the worker's mean fast path already recognizes; other rules /
+  // selection percentiles keep li_shi null and take the scan path.
+  buffer_frontier frontier;
+  li_shi_state li_state;
+  if (li_shi_enabled(options.li_shi, options.library.size()) &&
+      options.rule == pruning_kind::two_param &&
+      options.two_param.is_mean_rule() &&
+      options.selection_percentile == 0.5) {
+    frontier = buffer_frontier{options.library};
+    li_state.frontier = &frontier;
+    worker.li_shi = &li_state;
+  }
+
   std::vector<node_list> lists(tree.num_nodes());
   for (tree::node_id id : tree.postorder()) {
     if (dps.aborted) break;

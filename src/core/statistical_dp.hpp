@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/li_shi.hpp"
 #include "core/pruning.hpp"
 #include "core/solution.hpp"
 #include "core/solve_status.hpp"
@@ -91,6 +92,15 @@ struct stat_options {
   /// governed by `rule`, so the complexity guarantees are unchanged (the
   /// percentile of a canonical form costs one sparse sigma evaluation).
   double selection_percentile = 0.5;
+
+  /// Li-Shi per-type frontier for the buffered-candidate step (li_shi.hpp).
+  /// Engages on the 2P mean rule with mean selection (the total-order regime
+  /// where Lemma 4 makes mean order the P-order): the per-position cost
+  /// drops from O(b * |list|) scalar probes to O(|list| + b log b).
+  /// `automatic` turns it on for libraries of more than 2 types; selected
+  /// candidates -- and results -- match the scan path either way. Other
+  /// rules / selection percentiles always use the scan path.
+  li_shi_mode li_shi = li_shi_mode::automatic;
 
   /// Relative epsilon for dropping near-zero canonical-form terms at the
   /// statistical-merge sites: after each tightness-probability blend

@@ -92,6 +92,24 @@ det_result run_van_ginneken(const tree::routing_tree& tree,
           : timing::wire_menu{options.wire, options.wire_width_multipliers};
   const auto t_start = std::chrono::steady_clock::now();
 
+  // Li-Shi per-type frontier (li_shi.hpp): type order built once per run,
+  // per-type argmax found by monotone divide-and-conquer at every position.
+  const bool use_frontier =
+      li_shi_enabled(options.li_shi, options.library.size());
+  buffer_frontier frontier;
+  std::vector<std::size_t> best_per_type;
+  std::vector<double> key_load;
+  std::vector<double> key_rat;
+  std::vector<double> type_delay;
+  std::vector<double> type_res;
+  if (use_frontier) {
+    frontier = buffer_frontier{options.library};
+    for (timing::buffer_index b = 0; b < options.library.size(); ++b) {
+      type_delay.push_back(options.library[b].delay_ps);
+      type_res.push_back(options.library[b].res_ohm);
+    }
+  }
+
   det_result result;
   // Reused across runs on this thread (batch_solver fans nets across pool
   // threads): the chunked slabs reach steady state after the first net. Safe
@@ -113,7 +131,15 @@ det_result run_van_ginneken(const tree::routing_tree& tree,
         lists[child].clear();
         propagate_wire(up, menu, child, tree.node(child).parent_wire_um, arena,
                        result.stats);
-        prune_deterministic(up, result.stats);
+        if (use_frontier && !menu.sizing_enabled()) {
+          // Single-width wire propagation shifts every load by the same wire
+          // cap, so the child's pruned (sorted) list is still sorted: only
+          // the dominance sweep is needed. With sizing the fan-out is
+          // arbitrary and the full prune stays.
+          prune_deterministic_sorted(up, result.stats);
+        } else {
+          prune_deterministic(up, result.stats);
+        }
         if (here.empty()) {
           here = std::move(up);
         } else {
@@ -126,25 +152,59 @@ det_result run_van_ginneken(const tree::routing_tree& tree,
       // One buffered candidate per type: load becomes C_b, so only the best
       // post-buffer RAT matters (eqs. 27-28).
       const std::size_t base = here.size();
-      for (timing::buffer_index b = 0; b < options.library.size(); ++b) {
-        const auto& type = options.library[b];
-        double best_rat = -std::numeric_limits<double>::infinity();
-        const decision* best_why = nullptr;
+      if (use_frontier && base > 0) {
+        // Li-Shi: one monotone pass finds every type's best candidate; the
+        // key expression and the leftmost / strictly-greater tie rule are
+        // the scan path's, so the emitted candidates are identical.
+        // Packed key copies: the divide-and-conquer revisits rows many
+        // times, and contiguous doubles scan faster than the 24-byte
+        // candidate stride.
+        key_load.resize(base);
+        key_rat.resize(base);
         for (std::size_t k = 0; k < base; ++k) {
-          const double rat =
-              here[k].rat_ps - type.delay_ps - type.res_ohm * here[k].load_pf;
-          if (rat > best_rat) {
-            best_rat = rat;
-            best_why = here[k].why;
-          }
+          key_load[k] = here[k].load_pf;
+          key_rat[k] = here[k].rat_ps;
         }
-        if (best_why != nullptr) {
+        frontier.best_per_type(base, key_load.data(), key_rat.data(),
+                               type_delay.data(), type_res.data(),
+                               best_per_type);
+        for (timing::buffer_index b = 0; b < options.library.size(); ++b) {
+          const std::size_t k = best_per_type[b];
+          if (k == li_shi_npos) continue;  // all keys NaN: the scan skips too
+          const auto& type = options.library[b];
+          const double best_rat =
+              here[k].rat_ps - type.delay_ps - type.res_ohm * here[k].load_pf;
           here.push_back(
-              {type.cap_pf, best_rat, arena.buffered(id, b, best_why)});
+              {type.cap_pf, best_rat, arena.buffered(id, b, here[k].why)});
           ++result.stats.candidates_created;
         }
+        ++result.stats.li_shi_nodes;
+        // The base is already pruned (sorted); only the b appended buffered
+        // candidates need placing. Re-sorting everything -- the classic
+        // path's per-node O(n log n) -- is the other half of the b-factor
+        // Li-Shi's organization removes.
+        prune_deterministic_presorted(here, base, result.stats);
+      } else {
+        for (timing::buffer_index b = 0; b < options.library.size(); ++b) {
+          const auto& type = options.library[b];
+          double best_rat = -std::numeric_limits<double>::infinity();
+          const decision* best_why = nullptr;
+          for (std::size_t k = 0; k < base; ++k) {
+            const double rat =
+                here[k].rat_ps - type.delay_ps - type.res_ohm * here[k].load_pf;
+            if (rat > best_rat) {
+              best_rat = rat;
+              best_why = here[k].why;
+            }
+          }
+          if (best_why != nullptr) {
+            here.push_back(
+                {type.cap_pf, best_rat, arena.buffered(id, b, best_why)});
+            ++result.stats.candidates_created;
+          }
+        }
+        prune_deterministic(here, result.stats);
       }
-      prune_deterministic(here, result.stats);
     }
     result.stats.peak_list_size =
         std::max(result.stats.peak_list_size, here.size());

@@ -3,13 +3,17 @@
 // Bottom-up DP over the routing tree: candidate (L, T) lists are propagated
 // through wires (eqs. 25-26), merged at branches with the classic linear
 // merge (Fig. 1), pruned with the dominance rule, and extended with one
-// buffered candidate per library type (eqs. 27-28). Overall O(B * N^2) for B
-// buffer types and N legal positions. This is the paper's "NOM" optimizer and
-// the structural template the statistical engine follows.
+// buffered candidate per library type (eqs. 27-28). With the Li-Shi
+// per-type frontier (li_shi.hpp, on by default for B > 2) the buffered step
+// probes only the per-type best, for O(B * N^2) overall; the classic scan
+// path (li_shi_mode::never) is the O(B^2 * N^2) reference. This is the
+// paper's "NOM" optimizer and the structural template the statistical
+// engine follows.
 #pragma once
 
 #include <vector>
 
+#include "core/li_shi.hpp"
 #include "core/solution.hpp"
 #include "core/solve_status.hpp"
 #include "timing/buffer_library.hpp"
@@ -29,6 +33,12 @@ struct det_options {
   /// extension of [8]): every edge picks one multiplier (r/m, c*m). A single
   /// entry disables sizing and adds no overhead.
   std::vector<double> wire_width_multipliers = {1.0};
+
+  /// Li-Shi per-type frontier for the buffered-candidate step (li_shi.hpp):
+  /// O(|list| + b log b) per position instead of the classic O(b * |list|)
+  /// scan. `automatic` engages it for libraries of more than 2 types;
+  /// results match the scan path candidate for candidate either way.
+  li_shi_mode li_shi = li_shi_mode::automatic;
 };
 
 struct det_result {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <cstring>
 #include <new>
 #include <string>
@@ -126,11 +127,25 @@ std::size_t s_popcount_mask(const std::uint8_t* m, std::size_t n) {
   return count;
 }
 
+std::size_t s_argmax_buffered_row(const double* rats, const double* loads,
+                                  double d, double R, std::size_t n) {
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t bk = static_cast<std::size_t>(-1);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double v = rats[k] - d - R * loads[k];
+    if (v > best) {
+      best = v;
+      bk = k;
+    }
+  }
+  return bk;
+}
+
 constexpr kernel_table k_scalar_table = {
     kernel_isa::scalar,     s_blend_planes,       s_scale_plane,
     s_max_abs_plane,        s_drop_small_plane,   s_variance_plane,
     s_moments2_planes,      s_covariance_planes,  s_sigma_diff_sq_planes,
-    s_planes_equal,         s_popcount_mask,
+    s_planes_equal,         s_popcount_mask,      s_argmax_buffered_row,
 };
 
 // ---------------------------------------------------------------------------
@@ -243,7 +258,7 @@ const kernel_table k_sse2_table = {
     kernel_isa::sse2,       sse2_blend_planes,    sse2_scale_plane,
     sse2_max_abs_plane,     sse2_drop_small_plane, s_variance_plane,
     s_moments2_planes,      s_covariance_planes,  s_sigma_diff_sq_planes,
-    sse2_planes_equal,      s_popcount_mask,
+    sse2_planes_equal,      s_popcount_mask,      s_argmax_buffered_row,
 };
 
 __attribute__((target("avx2"))) void avx2_blend_planes(
@@ -437,12 +452,64 @@ __attribute__((target("avx2"))) bool avx2_planes_equal(
   return i >= n || s_planes_equal(a + i, ma + i, b + i, mb + i, n - i);
 }
 
+// The argmax update keeps per-lane state: lane l holds the max over indices
+// congruent to l (mod 4) together with the *smallest* index attaining it
+// (strictly-greater never replaces on ties). The final reduction takes the
+// lexicographic (max value, min index) over lanes plus the scalar tail,
+// which is exactly the scalar leftmost rule. GT is the ordered quiet
+// compare, so NaN keys never win -- also exactly the scalar `>`.
+__attribute__((target("avx2"))) std::size_t avx2_argmax_buffered_row(
+    const double* rats, const double* loads, double d, double R,
+    std::size_t n) {
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t bk = static_cast<std::size_t>(-1);
+  std::size_t i = 0;
+  if (n >= 8) {
+    const __m256d vd = _mm256_set1_pd(d);
+    const __m256d vr = _mm256_set1_pd(R);
+    __m256d vbest = _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+    __m256i vidx = _mm256_set1_epi64x(-1);
+    __m256i cur = _mm256_setr_epi64x(0, 1, 2, 3);
+    const __m256i step = _mm256_set1_epi64x(4);
+    for (; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_sub_pd(
+          _mm256_sub_pd(_mm256_loadu_pd(rats + i), vd),
+          _mm256_mul_pd(vr, _mm256_loadu_pd(loads + i)));
+      const __m256d gt = _mm256_cmp_pd(v, vbest, _CMP_GT_OQ);
+      vbest = _mm256_blendv_pd(vbest, v, gt);
+      vidx = _mm256_castpd_si256(_mm256_blendv_pd(
+          _mm256_castsi256_pd(vidx), _mm256_castsi256_pd(cur), gt));
+      cur = _mm256_add_epi64(cur, step);
+    }
+    alignas(32) double lane_val[4];
+    alignas(32) std::int64_t lane_idx[4];
+    _mm256_store_pd(lane_val, vbest);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane_idx), vidx);
+    for (int l = 0; l < 4; ++l) {
+      if (lane_idx[l] < 0) continue;  // lane never saw a key > -inf
+      const std::size_t k = static_cast<std::size_t>(lane_idx[l]);
+      if (lane_val[l] > best || (lane_val[l] == best && k < bk)) {
+        best = lane_val[l];
+        bk = k;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const double v = rats[i] - d - R * loads[i];
+    if (v > best) {
+      best = v;
+      bk = i;
+    }
+  }
+  return bk;
+}
+
 const kernel_table k_avx2_table = {
     kernel_isa::avx2,       avx2_blend_planes,    avx2_scale_plane,
     avx2_max_abs_plane,     avx2_drop_small_plane, avx2_variance_plane,
     avx2_moments2_planes,   avx2_covariance_planes,
     avx2_sigma_diff_sq_planes,
-    avx2_planes_equal,      s_popcount_mask,
+    avx2_planes_equal,      s_popcount_mask,      avx2_argmax_buffered_row,
 };
 
 #endif  // VABI_X86
@@ -515,7 +582,7 @@ const kernel_table k_neon_table = {
     kernel_isa::neon,       neon_blend_planes,    neon_scale_plane,
     neon_max_abs_plane,     s_drop_small_plane,   s_variance_plane,
     s_moments2_planes,      s_covariance_planes,  s_sigma_diff_sq_planes,
-    s_planes_equal,         s_popcount_mask,
+    s_planes_equal,         s_popcount_mask,      s_argmax_buffered_row,
 };
 
 #endif  // VABI_NEON

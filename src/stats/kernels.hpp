@@ -127,6 +127,18 @@ struct kernel_table {
 
   /// Present-slot count of a mask plane.
   std::size_t (*popcount_mask)(const std::uint8_t* m, std::size_t n);
+
+  /// Leftmost strictly-greater argmax of the buffered-step key
+  /// r_k - d - R*l_k over k in [0, n): the smallest k achieving the maximum
+  /// (the DP engines' scan rule), or SIZE_MAX when no key compares greater
+  /// than -infinity (empty range, all-NaN row). Keys are evaluated with the
+  /// exact scalar expression -- per-lane sub/mul, never FMA -- so the
+  /// selected index is identical on every ISA; only the comparison schedule
+  /// vectorizes, and a (max value, min index) lane reduction restores the
+  /// scalar leftmost rule exactly. This is the Li-Shi frontier's inner row
+  /// scan (core/li_shi.hpp).
+  std::size_t (*argmax_buffered_row)(const double* rats, const double* loads,
+                                     double d, double R, std::size_t n);
 };
 
 /// The active kernel table (dispatch happens on first use).

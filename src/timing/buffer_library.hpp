@@ -48,4 +48,17 @@ buffer_library standard_library();
 /// tests with hand-computed optima.
 buffer_library single_buffer_library();
 
+/// Parameterized large library for the multi-type (Li-Shi) studies: `size`
+/// repeaters spanning the x1..x64 drive range on a geometric grid, with the
+/// usual cap-for-resistance trade (cap up, res and delay down as drive
+/// grows). Every fourth entry is a skewed variant (same drive, higher
+/// intrinsic delay, slightly lower cap -- the rise/fall-skewed cells of a
+/// real library) and every eighth an "inverting" variant with an extra
+/// stage's delay, so resistances repeat across variants and the type order
+/// has genuine ties. Deterministic in (size, seed); seed perturbs the
+/// characteristics a few percent so different seeds give distinct libraries.
+/// size must be in [1, 1024].
+buffer_library make_parameterized_library(std::size_t size,
+                                          std::uint32_t seed = 1);
+
 }  // namespace vabi::timing
