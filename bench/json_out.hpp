@@ -1,12 +1,15 @@
 // Machine-readable bench artifacts: every record-emitting bench writes one
 // flat JSON file (`--json <path>`) of the form
 //
-//   {"bench": "...", "git_sha": "...", "records": [{...}, {...}, ...]}
+//   {"bench": "...", "git_sha": "...", "kernel_isa": "...",
+//    "records": [{...}, {...}, ...]}
 //
 // so CI can upload and diff results across commits without scraping the
-// human-oriented text tables. Values are restricted to strings and numbers;
-// keys are code-controlled identifiers (no general escaping needed beyond
-// quotes/backslashes).
+// human-oriented text tables. git_sha and kernel_isa attribute every artifact
+// to a commit and the SIMD dispatch the run actually took (the same context
+// bench_micro_ops attaches to its google-benchmark output). Values are
+// restricted to strings and numbers; keys are code-controlled identifiers
+// (no general escaping needed beyond quotes/backslashes).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +17,8 @@
 #include <string>
 #include <variant>
 #include <vector>
+
+#include "stats/kernels.hpp"
 
 #ifndef VABI_GIT_SHA
 #define VABI_GIT_SHA "unknown"
@@ -60,8 +65,11 @@ class json_records {
     if (path.empty()) return false;
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    std::fprintf(f, "{\"bench\": \"%s\", \"git_sha\": \"%s\", \"records\": [",
-                 escape(bench_name).c_str(), escape(git_sha()).c_str());
+    std::fprintf(
+        f, "{\"bench\": \"%s\", \"git_sha\": \"%s\", \"kernel_isa\": \"%s\", "
+           "\"records\": [",
+        escape(bench_name).c_str(), escape(git_sha()).c_str(),
+        stats::kernels::to_string(stats::kernels::active_isa()));
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
       for (std::size_t i = 0; i < rows_[r].size(); ++i) {

@@ -1,7 +1,17 @@
 #!/usr/bin/env python3
-"""Perf smoke: diff a bench_micro_ops JSON run against the committed baseline.
+"""Perf smoke: diff a bench JSON run against the committed baseline.
 
-Compares per-benchmark real_time (ns/op) in google-benchmark's JSON format.
+Understands two input shapes:
+
+  - google-benchmark JSON (bench_micro_ops): per-benchmark real_time ns/op;
+  - the repo's own json_records artifacts (bench_table2_runtime,
+    bench_table5_buffers, ...): ``{"bench", "git_sha", "records": [...]}``.
+    Each record's string-valued fields (section, bench, rule, li_shi, ...)
+    are joined into the benchmark name, every numeric field ending in
+    "seconds" becomes one timing entry, and records flagged aborted are
+    skipped -- so the DP hot paths the tables time (per-net 2P/4P solves,
+    the Li-Shi b-axis) gate CI exactly like the micro-ops do.
+
 Prints a table of ratios and emits a GitHub Actions `::warning::` annotation
 for every benchmark slower than --max-ratio times its baseline.
 
@@ -25,7 +35,7 @@ import sys
 
 
 def load_times(path):
-    """name -> real_time in ns for every aggregate-free benchmark entry."""
+    """name -> time in ns for every benchmark entry in either format."""
     with open(path) as f:
         doc = json.load(f)
     times = {}
@@ -37,6 +47,25 @@ def load_times(path):
         if scale is None or "real_time" not in b:
             continue
         times[b["name"]] = b["real_time"] * scale
+    # Numeric fields that identify a sweep point rather than measure it;
+    # they join the name so e.g. b=8 and b=64 records stay distinct.
+    axis_keys = ("b", "job", "threads")
+    for r in doc.get("records", []):
+        if r.get("aborted"):
+            continue
+        parts = [
+            v for k, v in r.items() if isinstance(v, str) and k != "detail"
+        ]
+        parts += [
+            f"{k}{r[k]:g}" for k in axis_keys if isinstance(r.get(k), (int, float))
+        ]
+        name = ":".join(parts)
+        for key, value in r.items():
+            if not key.endswith("seconds"):
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            times[f"{name}/{key}"] = value * 1e9
     return times
 
 

@@ -12,6 +12,9 @@
 //     --driver-res OHM          source driver resistance (default 150)
 //     --wire-widths W1,W2,...   enable wire sizing with these multipliers
 //     --emit-assignment PATH    write "node buffer_name [width]" lines
+//     --stats-json PATH         dump the solve's full dp_stats as one flat
+//                               JSON object (schema in README.md); single-net
+//                               mode only
 //     --generate SINKS          ignore NET.tree; generate a random net
 //     --seed N                  seed for --generate / the batch seed stream
 //     --threads N               solve sibling subtrees on N threads
@@ -78,6 +81,7 @@ struct cli_options {
   double driver_res = 150.0;
   std::vector<double> wire_widths = {1.0};
   std::string emit_assignment;
+  std::string stats_json;
   std::size_t generate_sinks = 0;
   std::uint64_t seed = 1;
   std::size_t threads = 1;
@@ -129,7 +133,7 @@ constexpr int exit_interrupted_resumable = 20;
                "                [--profile homo|hetero] [--pbar P]\n"
                "                [--yield-percentile Q] [--driver-res OHM]\n"
                "                [--wire-widths W1,W2,...]\n"
-               "                [--emit-assignment PATH]\n"
+               "                [--emit-assignment PATH] [--stats-json PATH]\n"
                "                [--generate SINKS] [--seed N] [--threads N]\n"
                "                [--deadline SECONDS] [--degrade none|retry|partial]\n"
                "                [--audit] [--batch N] [--journal PATH]\n"
@@ -200,6 +204,8 @@ cli_options parse(int argc, char** argv) {
       o.wire_widths = parse_widths(need_value(i));
     } else if (a == "--emit-assignment") {
       o.emit_assignment = need_value(i);
+    } else if (a == "--stats-json") {
+      o.stats_json = need_value(i);
     } else if (a == "--generate") {
       o.generate_sinks = static_cast<std::size_t>(std::stoul(need_value(i)));
     } else if (a == "--seed") {
@@ -253,7 +259,47 @@ cli_options parse(int argc, char** argv) {
   if ((o.resume || o.verify_restored) && o.journal_path.empty()) {
     usage("--resume/--verify-restored require --journal");
   }
+  if (!o.stats_json.empty() && (o.batch > 1 || !o.journal_path.empty())) {
+    usage("--stats-json is single-net mode only");
+  }
   return o;
+}
+
+/// Flat JSON dump of one solve's dp_stats plus run context (the schema
+/// documented in README.md). Every counter is emitted, including the
+/// session-only slab-cache triple and li_shi_nodes, so downstream tooling
+/// never has to guess which fields a build knows about.
+bool write_stats_json(const std::string& path, const core::stat_result& r,
+                      const cli_options& cli) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n"
+     << "  \"rule\": \"" << core::to_string(cli.rule) << "\",\n"
+     << "  \"mode\": \"" << layout::to_string(cli.mode) << "\",\n"
+     << "  \"threads\": " << cli.threads << ",\n"
+     << "  \"solve_path\": \"" << core::to_string(r.path) << "\",\n"
+     << "  \"num_buffers\": " << r.num_buffers << ",\n"
+     << "  \"root_rat_mean_ps\": " << r.root_rat.mean() << ",\n"
+     << "  \"candidates_created\": " << r.stats.candidates_created << ",\n"
+     << "  \"candidates_pruned\": " << r.stats.candidates_pruned << ",\n"
+     << "  \"merge_pairs\": " << r.stats.merge_pairs << ",\n"
+     << "  \"peak_list_size\": " << r.stats.peak_list_size << ",\n"
+     << "  \"allocations\": " << r.stats.allocations << ",\n"
+     << "  \"peak_terms\": " << r.stats.peak_terms << ",\n"
+     << "  \"dense_forms\": " << r.stats.dense_forms << ",\n"
+     << "  \"terms_merged\": " << r.stats.terms_merged << ",\n"
+     << "  \"dominance_prefilter_hits\": "
+     << r.stats.dominance_prefilter_hits << ",\n"
+     << "  \"li_shi_nodes\": " << r.stats.li_shi_nodes << ",\n"
+     << "  \"cache_hits\": " << r.stats.cache_hits << ",\n"
+     << "  \"cache_misses\": " << r.stats.cache_misses << ",\n"
+     << "  \"nodes_reused\": " << r.stats.nodes_reused << ",\n"
+     << "  \"wall_seconds\": " << r.stats.wall_seconds << ",\n"
+     << "  \"aborted\": " << (r.stats.aborted ? "true" : "false") << ",\n"
+     << "  \"abort_code\": \"" << core::to_string(r.stats.abort_code)
+     << "\"\n"
+     << "}\n";
+  return os.good();
 }
 
 // -- graceful SIGINT/SIGTERM draining ---------------------------------------
@@ -520,6 +566,14 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
     }
+  }
+
+  if (!cli.stats_json.empty()) {
+    if (!write_stats_json(cli.stats_json, r, cli)) {
+      std::cerr << "cannot write " << cli.stats_json << "\n";
+      return 1;
+    }
+    std::cout << "stats written to " << cli.stats_json << "\n";
   }
 
   if (!cli.emit_assignment.empty()) {

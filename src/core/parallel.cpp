@@ -14,6 +14,7 @@
 
 #include "core/dp_engine.hpp"
 #include "core/journal.hpp"
+#include "core/slab_cache_impl.hpp"
 #include "stats/rng.hpp"
 #include "testing/fault_injection.hpp"
 
@@ -216,9 +217,19 @@ struct parallel_run {
   const stat_options& options;
   const stats::variation_space& space;
   const timing::wire_menu& menu;
-  const device_cache& cache;
+  const device_cache* cache;  ///< one-shot mode; null in session mode
   thread_pool& pool;
   const cancel_token* cancel;
+
+  /// Session (ECO) mode: devices come from the session memo, decisions and
+  /// term storage from the session-owned worker arenas (they must outlive
+  /// this run -- cached candidates keep borrowing them), and only nodes with
+  /// marked[id] != 0 are scheduled (the rest were adopted from the slab
+  /// cache; their lists are pre-filled). With store set, every solved node's
+  /// sealed list is cloned into the cache.
+  detail::session_state* session = nullptr;
+  const std::vector<std::uint8_t>* marked = nullptr;
+  bool store_entries = false;
 
   std::vector<worker_state> states;
   std::vector<detail::node_list> lists;
@@ -237,7 +248,7 @@ struct parallel_run {
 
   parallel_run(const tree::routing_tree& t, const stat_options& o,
                const stats::variation_space& sp, const timing::wire_menu& m,
-               const device_cache& c, thread_pool& p,
+               const device_cache* c, thread_pool& p,
                const cancel_token* ct)
       : tree(t),
         options(o),
@@ -265,17 +276,43 @@ struct parallel_run {
     }
   }
 
-  detail::dp_worker make_worker(worker_state& st) {
+  /// Switches the run into session mode. Must be called before run(): lists
+  /// for adopted subtree roots are expected pre-filled, and the pending
+  /// counters are re-derived to count *marked* children only (an adopted
+  /// child never runs a task, so it must not hold its parent's counter).
+  void setup_session(detail::session_state& ss,
+                     const std::vector<std::uint8_t>& marks, bool store,
+                     detail::dp_clock::time_point t_start) {
+    session = &ss;
+    marked = &marks;
+    store_entries = store;
+    budget.t_start = t_start;
+    for (tree::node_id id = 0; id < tree.num_nodes(); ++id) {
+      std::uint32_t n = 0;
+      for (const tree::node_id c : tree.node(id).children) {
+        n += marks[c] != 0 ? 1u : 0u;
+      }
+      pending[id].store(n, std::memory_order_relaxed);
+    }
+  }
+
+  detail::dp_worker make_worker(int w) {
+    worker_state& st = states[w];
+    decision_arena& arena =
+        session != nullptr ? session->workers[w]->arena : st.arena;
+    detail::worker_arena& mem =
+        session != nullptr ? session->workers[w]->mem : st.mem;
     return detail::dp_worker{
         tree,
         space,
         options,
         menu,
         [this](tree::node_id id, timing::buffer_index b) {
-          return cache.get(id, b);
+          return session != nullptr ? session->device(id, b)
+                                    : cache->get(id, b);
         },
-        st.arena,
-        st.mem,
+        arena,
+        mem,
         st.dps,
         detail::resource_guard{options, st.dps, st.published, &budget, cancel,
                                {}},
@@ -296,9 +333,17 @@ struct parallel_run {
     const int w = thread_pool::current_worker();
     try {
       if (!budget.aborted.load(std::memory_order_acquire)) {
-        detail::dp_worker worker = make_worker(states[w]);
+        detail::dp_worker worker = make_worker(w);
         detail::node_list here = worker.solve_node(id, lists);
         if (!states[w].dps.aborted) {
+          if (session != nullptr) {
+            ++states[w].dps.cache_misses;
+            // Clone into the cache before the parent consumes the list; a
+            // tripped node (or its never-solved ancestors) stores nothing.
+            if (store_entries) {
+              session->store(id, tree.subtree_hash(id), here);
+            }
+          }
           lists[id] = std::move(here);
         } else {
           worker.guard.publish();
@@ -308,7 +353,7 @@ struct parallel_run {
           !budget.aborted.load(std::memory_order_acquire)) {
         // The root task transitively depends on every node, so at this point
         // all lists are visible and final.
-        detail::dp_worker worker = make_worker(states[w]);
+        detail::dp_worker worker = make_worker(w);
         root_result = worker.select_root(lists[id]);
         root_ok = true;
       }
@@ -333,7 +378,19 @@ struct parallel_run {
     // parent's counter to zero (and submit it) while this loop is still
     // walking, and a second submission of the same node corrupts the run.
     for (tree::node_id id : tree.postorder()) {
-      if (tree.node(id).children.empty()) {
+      if (marked != nullptr && (*marked)[id] == 0) continue;
+      // Structural leaves of the scheduled DAG: no children in one-shot
+      // mode, no *marked* children in session mode (adopted children are
+      // data, not tasks). Static info only -- testing the live pending
+      // counters here would race the cascade.
+      bool has_marked_child = false;
+      for (const tree::node_id c : tree.node(id).children) {
+        if (marked == nullptr || (*marked)[c] != 0) {
+          has_marked_child = true;
+          break;
+        }
+      }
+      if (!has_marked_child) {
         pool.submit([this, id] { run_node(id); });
       }
     }
@@ -356,6 +413,9 @@ struct parallel_run {
       total.terms_merged += st.dps.terms_merged;
       total.dominance_prefilter_hits += st.dps.dominance_prefilter_hits;
       total.li_shi_nodes += st.dps.li_shi_nodes;
+      total.cache_hits += st.dps.cache_hits;
+      total.cache_misses += st.dps.cache_misses;
+      total.nodes_reused += st.dps.nodes_reused;
       // Prefer the worker that tripped a *primary* cause over workers that
       // merely observed the broadcast abort (code cancelled, reason
       // "aborted by another worker").
@@ -389,11 +449,72 @@ stat_result run_parallel_impl(const tree::routing_tree& tree,
                               const cancel_token* cancel) {
   const timing::wire_menu menu = detail::make_wire_menu(options);
   const device_cache cache(tree, model, options.library);
-  parallel_run run{tree, options, model.space(), menu, cache, pool, cancel};
+  parallel_run run{tree, options, model.space(), menu, &cache, pool, cancel};
   return run.run();
 }
 
 }  // namespace
+
+namespace detail {
+
+stat_result session_solve_parallel(session_state& ss,
+                                   const tree::routing_tree& tree,
+                                   const stat_options& options,
+                                   thread_pool& pool,
+                                   const cancel_token* cancel,
+                                   bool use_cache) {
+  const timing::wire_menu menu = make_wire_menu(options);
+  const dp_clock::time_point t_start = dp_clock::now();
+
+  ss.prepare(tree, options);
+  std::vector<node_list> lists(tree.num_nodes());
+  const auto marks = ss.mark(tree, lists, use_cache);
+
+  while (ss.workers.size() < pool.size()) {
+    ss.workers.push_back(std::make_unique<session_worker>());
+  }
+  for (auto& w : ss.workers) w->mem.begin_run();
+
+  stat_result result;
+  dp_stats total;
+  if (marks.marked[tree.root()] == 0) {
+    // Full hit: the whole tree (root included) was adopted; nothing to
+    // schedule, only the root selection runs -- serially, like the one-task
+    // DAG it replaces.
+    ss.mem.begin_run();
+    std::size_t published = 0;
+    dp_worker worker{tree,
+                     ss.model->space(),
+                     options,
+                     menu,
+                     [&ss](tree::node_id id, timing::buffer_index b) {
+                       return ss.device(id, b);
+                     },
+                     ss.arena,
+                     ss.mem,
+                     total,
+                     resource_guard{options, total, published, nullptr, cancel,
+                                    t_start}};
+    result = worker.select_root(lists[tree.root()]);
+  } else {
+    parallel_run run{tree,  options, ss.model->space(), menu,
+                     nullptr, pool,  cancel};
+    run.setup_session(ss, marks.marked, use_cache, t_start);
+    // Hand the run the adopted clones mark() filled in (it sized its own
+    // empty list vector in the constructor).
+    run.lists = std::move(lists);
+    result = run.run();
+    total = result.stats;
+  }
+  total.cache_hits = marks.hits;
+  total.nodes_reused = marks.reused;
+  total.wall_seconds =
+      std::chrono::duration<double>(dp_clock::now() - t_start).count();
+  result.stats = std::move(total);
+  return result;
+}
+
+}  // namespace detail
 
 stat_result run_parallel_insertion(const tree::routing_tree& tree,
                                    layout::process_model& model,

@@ -1,0 +1,121 @@
+// Internal state of a solve_session, shared between slab_cache.cpp (serial
+// solves, cache bookkeeping) and parallel.cpp (the pool-scheduled solve,
+// which must reuse the file-local parallel runner there). Not installed; not
+// part of the public surface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dp_engine.hpp"
+#include "core/slab_cache.hpp"
+
+namespace vabi::core::detail {
+
+/// Byte-clones a sealed node_list: the candidate vector is copied (borrowed
+/// spans stay shallow), the slab's sealed prefix is memcpy'd, and every
+/// borrowed form is re-based onto the copy. Decision backpointers and cached
+/// moments copy through. Bit-identical by construction.
+node_list clone_node_list(const node_list& src);
+
+/// Fingerprint over every solver-relevant stat_options field (rule params,
+/// caps, percentiles, library, wire, li_shi, check_nonfinite, degrade...).
+/// Any change flushes the slab cache: caps shape the prune/abort behaviour
+/// and everything else shapes the candidates themselves, so only an
+/// identical fingerprint may serve cached lists.
+std::uint64_t fingerprint_stat_options(const stat_options& options);
+
+/// Fingerprint of the buffer library alone; a change additionally flushes
+/// the device memo (entries are indexed by buffer type).
+std::uint64_t fingerprint_library(const timing::buffer_library& lib);
+
+struct cache_entry {
+  std::uint64_t hash = 0;
+  bool valid = false;
+  node_list list;
+};
+
+/// Arenas of one parallel-session worker; owned by the session (never reset
+/// while cached `why` chains point into them), lent to the pool's workers
+/// for the duration of one solve.
+struct session_worker {
+  decision_arena arena;
+  worker_arena mem;
+};
+
+struct session_state {
+  layout::process_model* model = nullptr;
+
+  // Content-addressed survivor-slab cache, indexed by node id.
+  std::vector<cache_entry> entries;
+  std::uint64_t options_fp = 0;
+  bool has_options_fp = false;
+  std::uint64_t library_fp = 0;
+  bool has_library_fp = false;
+
+  // Device memo: characterized forms per (node, type), guarded by the
+  // node's location. Pre-filled in serial lazy postorder order so the
+  // session's source-id allocation matches the one-shot serial engine's.
+  struct device_entry {
+    layout::device_variation dv;
+    layout::point loc;
+    bool valid = false;
+  };
+  std::vector<device_entry> devices;
+  std::size_t memo_lib = 0;
+
+  // Session-owned storage backing cached candidates' decision chains.
+  decision_arena arena;  ///< serial solves
+  worker_arena mem;      ///< serial solves
+  std::vector<std::unique_ptr<session_worker>> workers;  ///< parallel solves
+
+  /// Refreshes fingerprints (flushing on change), sizes the entry table,
+  /// warms the tree's subtree hashes, and fills the device memo for every
+  /// attached non-source node whose entry is missing or whose location
+  /// moved. Serial; call before mark().
+  void prepare(const tree::routing_tree& tree, const stat_options& options);
+
+  struct mark_result {
+    std::vector<std::uint8_t> marked;  ///< nodes the solve must visit
+    std::size_t hits = 0;              ///< adopted subtree roots
+    std::size_t reused = 0;            ///< nodes under adopted roots
+  };
+
+  /// Top-down pass from the root: subtrees whose hash matches their cached
+  /// entry are adopted (cloned into `lists`) and not descended into;
+  /// everything else is marked for re-solving. With use_cache false every
+  /// attached node is marked.
+  mark_result mark(const tree::routing_tree& tree,
+                   std::vector<node_list>& lists, bool use_cache) const;
+
+  /// Stores a freshly sealed list for `id` (clones it; the original moves on
+  /// into the solve). Safe to call concurrently for distinct ids once
+  /// `entries` is sized and the tree's hashes are warm.
+  void store(tree::node_id id, std::uint64_t hash, const node_list& solved);
+
+  const layout::device_variation& device(tree::node_id id,
+                                         timing::buffer_index b) const {
+    return devices[static_cast<std::size_t>(id) * memo_lib + b].dv;
+  }
+
+  void flush_entries();
+  void reset_all();
+};
+
+/// Serial session solve (slab_cache.cpp). With use_cache false: adopts and
+/// stores nothing (the solve_cold reference path).
+stat_result session_solve_serial(session_state& ss,
+                                 const tree::routing_tree& tree,
+                                 const stat_options& options,
+                                 const cancel_token* cancel, bool use_cache);
+
+/// Pool-scheduled session solve (parallel.cpp); bit-identical to the serial
+/// session solve.
+stat_result session_solve_parallel(session_state& ss,
+                                   const tree::routing_tree& tree,
+                                   const stat_options& options,
+                                   thread_pool& pool,
+                                   const cancel_token* cancel, bool use_cache);
+
+}  // namespace vabi::core::detail

@@ -192,6 +192,16 @@ struct dp_stats {
   /// A representation/organization counter like dense_forms: never part of
   /// the bit-identity contract (the selected candidates are identical).
   std::size_t li_shi_nodes = 0;
+  /// Slab-cache traffic (session-oriented solves only; the one-shot entry
+  /// points never consult the cache and leave all three at 0). Hits count
+  /// subtree roots adopted wholesale from the cache, misses count nodes the
+  /// session actually re-solved, and nodes_reused counts every node under an
+  /// adopted root (the work the cache saved). Like dense_forms these are
+  /// organization counters: the selected candidates are bit-identical with
+  /// or without the cache.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t nodes_reused = 0;
   double wall_seconds = 0.0;
   bool aborted = false;                ///< a resource cap fired (4P runs)
   std::string abort_reason;

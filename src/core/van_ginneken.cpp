@@ -2,14 +2,37 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <limits>
 #include <new>
 #include <stdexcept>
 #include <vector>
 
+#include "core/journal.hpp"
 #include "core/pruning.hpp"
+#include "core/slab_cache.hpp"
 
 namespace vabi::core {
+
+namespace detail {
+
+/// State of a det_session (slab_cache.hpp). Deterministic candidates are
+/// plain (load, RAT, why) triples, so cached lists are stored by value; the
+/// session-owned decision arena is never reset while the session lives
+/// because cached `why` chains point into it.
+struct det_session_state {
+  struct entry {
+    std::uint64_t hash = 0;
+    bool valid = false;
+    std::vector<det_candidate> list;
+  };
+  std::vector<entry> entries;
+  std::uint64_t options_fp = 0;
+  bool has_options_fp = false;
+  decision_arena arena;
+};
+
+}  // namespace detail
 
 namespace {
 
@@ -78,10 +101,33 @@ cand_list merge_lists(const cand_list& a, const cand_list& b,
   return out;
 }
 
-}  // namespace
+/// Fingerprint over every solver-relevant det_options field; a change
+/// flushes the det_session cache (mirrors detail::fingerprint_stat_options).
+std::uint64_t fingerprint_det_options(const det_options& o) {
+  std::uint64_t h = fnv1a_seed;
+  h = fnv1a_f64(o.wire.res_per_um, h);
+  h = fnv1a_f64(o.wire.cap_per_um, h);
+  h = fnv1a_u64(o.library.size(), h);
+  for (const auto& b : o.library.types()) {
+    h = fnv1a_str(b.name, h);
+    h = fnv1a_f64(b.cap_pf, h);
+    h = fnv1a_f64(b.delay_ps, h);
+    h = fnv1a_f64(b.res_ohm, h);
+  }
+  h = fnv1a_f64(o.driver_res_ohm, h);
+  h = fnv1a_u64(o.wire_width_multipliers.size(), h);
+  for (const double m : o.wire_width_multipliers) h = fnv1a_f64(m, h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(o.li_shi), h);
+  return h;
+}
 
-det_result run_van_ginneken(const tree::routing_tree& tree,
-                            const det_options& options) {
+/// The shared postorder DP. With a session: subtrees whose content hash
+/// matches their cached entry are adopted (list copied, subtree skipped) and
+/// every freshly solved node's list is stored back; decisions go to the
+/// session arena. Without: the classic one-shot behavior on `arena`.
+det_result run_vg_impl(const tree::routing_tree& tree,
+                       const det_options& options, decision_arena& arena,
+                       detail::det_session_state* session, bool use_cache) {
   if (options.library.empty()) {
     throw std::invalid_argument("run_van_ginneken: empty buffer library");
   }
@@ -111,15 +157,37 @@ det_result run_van_ginneken(const tree::routing_tree& tree,
   }
 
   det_result result;
-  // Reused across runs on this thread (batch_solver fans nets across pool
-  // threads): the chunked slabs reach steady state after the first net. Safe
-  // because the result is materialized (extract_design) before returning.
-  static thread_local decision_arena t_arena;
-  t_arena.reset();
-  decision_arena& arena = t_arena;
   std::vector<cand_list> lists(tree.num_nodes());
 
+  // Session mode: adopt every subtree whose content hash matches its cached
+  // entry -- top-down, so a hit skips the whole subtree below it.
+  std::vector<std::uint8_t> marked;
+  if (session != nullptr) {
+    tree.ensure_subtree_hashes();
+    if (session->entries.size() < tree.num_nodes()) {
+      session->entries.resize(tree.num_nodes());
+    }
+    marked.assign(tree.num_nodes(), 0);
+    std::vector<tree::node_id> stack{tree.root()};
+    while (!stack.empty()) {
+      const tree::node_id id = stack.back();
+      stack.pop_back();
+      const auto& e = session->entries[id];
+      if (use_cache && e.valid && e.hash == tree.subtree_hash(id)) {
+        lists[id] = e.list;
+        ++result.stats.cache_hits;
+        result.stats.nodes_reused += tree.subtree_size(id);
+        continue;
+      }
+      marked[id] = 1;
+      for (const tree::node_id c : tree.node(id).children) {
+        stack.push_back(c);
+      }
+    }
+  }
+
   for (tree::node_id id : tree.postorder()) {
+    if (session != nullptr && marked[id] == 0) continue;
     const auto& n = tree.node(id);
     cand_list here;
     if (n.is_sink()) {
@@ -208,6 +276,15 @@ det_result run_van_ginneken(const tree::routing_tree& tree,
     }
     result.stats.peak_list_size =
         std::max(result.stats.peak_list_size, here.size());
+    if (session != nullptr) {
+      ++result.stats.cache_misses;
+      if (use_cache) {
+        auto& e = session->entries[id];
+        e.list = here;  // copy: `here` moves on into the solve
+        e.hash = tree.subtree_hash(id);
+        e.valid = true;
+      }
+    }
     lists[id] = std::move(here);
   }
 
@@ -235,15 +312,17 @@ det_result run_van_ginneken(const tree::routing_tree& tree,
   return result;
 }
 
-solve_outcome<det_result> solve_van_ginneken(const tree::routing_tree& tree,
-                                             const det_options& options) {
+/// Shared typed-error wrapper of the deterministic entry points.
+template <typename Solve>
+solve_outcome<det_result> det_entry(const tree::routing_tree& tree,
+                                    Solve&& solve) {
   try {
     tree.validate();
   } catch (const std::exception& e) {
     return solve_error{solve_code::invalid_tree, tree::invalid_node, e.what()};
   }
   try {
-    return run_van_ginneken(tree, options);
+    return solve();
   } catch (const std::invalid_argument& e) {
     return solve_error{solve_code::invalid_options, tree::invalid_node,
                        e.what()};
@@ -253,6 +332,72 @@ solve_outcome<det_result> solve_van_ginneken(const tree::routing_tree& tree,
   } catch (const std::exception& e) {
     return solve_error{solve_code::internal, tree::invalid_node, e.what()};
   }
+}
+
+}  // namespace
+
+det_result run_van_ginneken(const tree::routing_tree& tree,
+                            const det_options& options) {
+  // Reused across runs on this thread (batch_solver fans nets across pool
+  // threads): the chunked slabs reach steady state after the first net. Safe
+  // because the result is materialized (extract_design) before returning.
+  static thread_local decision_arena t_arena;
+  t_arena.reset();
+  return run_vg_impl(tree, options, t_arena, nullptr, false);
+}
+
+solve_outcome<det_result> solve_van_ginneken(const tree::routing_tree& tree,
+                                             const det_options& options) {
+  return det_entry(tree,
+                   [&] { return run_van_ginneken(tree, options); });
+}
+
+det_session::det_session()
+    : state_(std::make_unique<detail::det_session_state>()) {}
+det_session::~det_session() = default;
+det_session::det_session(det_session&&) noexcept = default;
+det_session& det_session::operator=(det_session&&) noexcept = default;
+
+namespace {
+
+solve_outcome<det_result> det_session_entry(detail::det_session_state& ss,
+                                            const tree::routing_tree& tree,
+                                            const det_options& options,
+                                            bool use_cache) {
+  const std::uint64_t fp = fingerprint_det_options(options);
+  if (ss.has_options_fp && fp != ss.options_fp) {
+    for (auto& e : ss.entries) e.valid = false;
+  }
+  ss.options_fp = fp;
+  ss.has_options_fp = true;
+  return det_entry(tree, [&] {
+    return run_vg_impl(tree, options, ss.arena, &ss, use_cache);
+  });
+}
+
+}  // namespace
+
+solve_outcome<det_result> det_session::solve(const tree::routing_tree& tree,
+                                             const det_options& options) {
+  return det_session_entry(*state_, tree, options, true);
+}
+
+solve_outcome<det_result> det_session::solve_cold(
+    const tree::routing_tree& tree, const det_options& options) {
+  return det_session_entry(*state_, tree, options, false);
+}
+
+void det_session::reset() {
+  state_->entries.clear();
+  state_->entries.shrink_to_fit();
+  state_->has_options_fp = false;
+  state_->arena.reset();
+}
+
+std::size_t det_session::cached_nodes() const {
+  std::size_t n = 0;
+  for (const auto& e : state_->entries) n += e.valid ? 1 : 0;
+  return n;
 }
 
 }  // namespace vabi::core

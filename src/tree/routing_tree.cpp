@@ -1,9 +1,40 @@
 #include "tree/routing_tree.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
 namespace vabi::tree {
+
+namespace {
+
+// Local FNV-1a primitives. src/tree sits below src/core in the layering, so
+// the journal's helpers are off limits here; the constants are the standard
+// 64-bit FNV ones and the recipes match core/journal.hpp bit for bit.
+constexpr std::uint64_t k_fnv_seed = 14695981039346656037ull;
+constexpr std::uint64_t k_fnv_prime = 1099511628211ull;
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= k_fnv_prime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t v, std::uint64_t h) {
+  return fnv1a_bytes(&v, sizeof(v), h);
+}
+
+std::uint64_t fnv1a_f64(double v, std::uint64_t h) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv1a_u64(bits, h);
+}
+
+}  // namespace
 
 const char* to_string(node_kind kind) {
   switch (kind) {
@@ -41,8 +72,11 @@ node_id routing_tree::add_node(node_kind kind, node_id parent,
   n.parent_wire_um =
       wire_um >= 0.0 ? wire_um
                      : layout::manhattan_distance(nodes_[parent].location, loc);
+  n.detached = nodes_[parent].detached;
+  if (n.detached) ++num_detached_;
   nodes_[parent].children.push_back(n.id);
   nodes_.push_back(n);
+  hashes_valid_ = false;
   return n.id;
 }
 
@@ -54,13 +88,177 @@ node_id routing_tree::add_sink(node_id parent, layout::point loc,
   const node_id id = add_node(node_kind::sink, parent, loc, wire_um);
   nodes_[id].sink_cap_pf = cap_pf;
   nodes_[id].sink_rat_ps = rat_ps;
-  ++num_sinks_;
+  if (!nodes_[id].detached) ++num_sinks_;
   return id;
 }
 
 node_id routing_tree::add_steiner(node_id parent, layout::point loc,
                                   double wire_um) {
   return add_node(node_kind::steiner, parent, loc, wire_um);
+}
+
+std::uint64_t routing_tree::compute_subtree_hash(node_id id) const {
+  const tree_node& n = nodes_[id];
+  std::uint64_t h = k_fnv_seed;
+  h = fnv1a_u64(static_cast<std::uint64_t>(n.kind), h);
+  h = fnv1a_f64(n.location.x, h);
+  h = fnv1a_f64(n.location.y, h);
+  h = fnv1a_f64(n.sink_cap_pf, h);
+  h = fnv1a_f64(n.sink_rat_ps, h);
+  // Each edge is hashed at the parent, not the child: resizing the wire
+  // above X changes the hashes of X's ancestors but leaves subtree(X)
+  // untouched, which is exactly the set of DP results the edit invalidates.
+  for (const node_id c : n.children) {
+    h = fnv1a_f64(nodes_[c].parent_wire_um, h);
+    h = fnv1a_u64(hashes_[c], h);
+  }
+  return h;
+}
+
+void routing_tree::ensure_subtree_hashes() const {
+  if (hashes_valid_ && hashes_.size() == nodes_.size()) return;
+  hashes_.assign(nodes_.size(), 0);
+  // Children always have larger ids than their parent (graft preserves the
+  // invariant), so one descending-id pass is a valid bottom-up order and
+  // covers detached subtrees too.
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    hashes_[i] = compute_subtree_hash(static_cast<node_id>(i));
+  }
+  hashes_valid_ = true;
+}
+
+void routing_tree::rehash_upward(node_id id) const {
+  while (id != invalid_node) {
+    hashes_[id] = compute_subtree_hash(id);
+    id = nodes_[id].parent;
+  }
+}
+
+std::size_t routing_tree::subtree_size(node_id id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("routing_tree: invalid node id");
+  }
+  std::size_t count = 0;
+  std::vector<node_id> stack{id};
+  while (!stack.empty()) {
+    const node_id n = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const node_id c : nodes_[n].children) stack.push_back(c);
+  }
+  return count;
+}
+
+void routing_tree::apply_edit(const tree_edit& edit) {
+  if (edit.node >= nodes_.size()) {
+    throw std::out_of_range("apply_edit: invalid node id");
+  }
+  ensure_subtree_hashes();
+  tree_node& n = nodes_[edit.node];
+  switch (edit.op) {
+    case tree_edit::op_kind::move_sink: {
+      if (!n.is_sink()) {
+        throw std::logic_error("apply_edit: move_sink target is not a sink");
+      }
+      n.location = edit.location;
+      if (n.parent != invalid_node) {
+        n.parent_wire_um =
+            edit.wire_um >= 0.0
+                ? edit.wire_um
+                : layout::manhattan_distance(nodes_[n.parent].location,
+                                             n.location);
+      }
+      rehash_upward(edit.node);
+      return;
+    }
+    case tree_edit::op_kind::retarget_rat: {
+      if (!n.is_sink()) {
+        throw std::logic_error("apply_edit: retarget_rat target is not a sink");
+      }
+      n.sink_rat_ps = edit.value;
+      rehash_upward(edit.node);
+      return;
+    }
+    case tree_edit::op_kind::resize_wire: {
+      if (n.is_source()) {
+        throw std::logic_error("apply_edit: source has no parent wire");
+      }
+      if (n.parent == invalid_node) {
+        throw std::logic_error("apply_edit: detached root has no parent wire");
+      }
+      if (edit.value < 0.0) {
+        throw std::invalid_argument("apply_edit: negative wire length");
+      }
+      n.parent_wire_um = edit.value;
+      // The edge is hashed at the parent; starting the walk at the child is
+      // harmless (its own hash is unchanged) and keeps one code path.
+      rehash_upward(edit.node);
+      return;
+    }
+    case tree_edit::op_kind::prune_subtree: {
+      if (n.is_source()) {
+        throw std::logic_error("apply_edit: cannot prune the source");
+      }
+      if (n.detached) {
+        throw std::logic_error("apply_edit: subtree is already detached");
+      }
+      const node_id old_parent = n.parent;
+      auto& siblings = nodes_[old_parent].children;
+      siblings.erase(std::find(siblings.begin(), siblings.end(), edit.node));
+      n.parent = invalid_node;
+      n.parent_wire_um = 0.0;
+      std::vector<node_id> stack{edit.node};
+      while (!stack.empty()) {
+        tree_node& m = nodes_[stack.back()];
+        stack.pop_back();
+        m.detached = true;
+        ++num_detached_;
+        if (m.is_sink()) --num_sinks_;
+        for (const node_id c : m.children) stack.push_back(c);
+      }
+      rehash_upward(old_parent);
+      return;
+    }
+    case tree_edit::op_kind::graft_subtree: {
+      if (!n.detached || n.parent != invalid_node) {
+        throw std::logic_error("apply_edit: graft target is not a detached root");
+      }
+      if (edit.new_parent >= nodes_.size()) {
+        throw std::out_of_range("apply_edit: invalid graft parent");
+      }
+      tree_node& p = nodes_[edit.new_parent];
+      if (p.detached) {
+        throw std::logic_error("apply_edit: graft parent is detached");
+      }
+      if (p.is_sink()) {
+        throw std::logic_error("apply_edit: sinks must be leaves");
+      }
+      // Children must keep larger ids than their parents (the anti-cycle
+      // invariant every traversal relies on), so a subtree can only be
+      // grafted under a lower-numbered node.
+      if (edit.new_parent >= edit.node) {
+        throw std::logic_error("apply_edit: graft parent id must be less than node id");
+      }
+      n.parent = edit.new_parent;
+      n.parent_wire_um =
+          edit.wire_um >= 0.0
+              ? edit.wire_um
+              : layout::manhattan_distance(p.location, n.location);
+      p.children.push_back(edit.node);
+      std::vector<node_id> stack{edit.node};
+      while (!stack.empty()) {
+        tree_node& m = nodes_[stack.back()];
+        stack.pop_back();
+        m.detached = false;
+        --num_detached_;
+        if (m.is_sink()) ++num_sinks_;
+        for (const node_id c : m.children) stack.push_back(c);
+      }
+      rehash_upward(edit.node);
+      return;
+    }
+  }
+  throw std::logic_error("apply_edit: unknown edit kind");
 }
 
 std::vector<node_id> routing_tree::postorder() const {
@@ -82,20 +280,24 @@ std::vector<node_id> routing_tree::sinks() const {
   std::vector<node_id> out;
   out.reserve(num_sinks_);
   for (const auto& n : nodes_) {
-    if (n.is_sink()) out.push_back(n.id);
+    if (n.is_sink() && !n.detached) out.push_back(n.id);
   }
   return out;
 }
 
 double routing_tree::total_wire_um() const {
   double total = 0.0;
-  for (const auto& n : nodes_) total += n.parent_wire_um;
+  for (const auto& n : nodes_) {
+    if (!n.detached) total += n.parent_wire_um;
+  }
   return total;
 }
 
 layout::bbox routing_tree::bounding_box() const {
   layout::bbox box{nodes_.front().location, nodes_.front().location};
-  for (const auto& n : nodes_) box.expand(n.location);
+  for (const auto& n : nodes_) {
+    if (!n.detached) box.expand(n.location);
+  }
   return box;
 }
 
@@ -104,22 +306,33 @@ void routing_tree::validate() const {
     throw std::logic_error("routing_tree: missing source root");
   }
   std::size_t sink_count = 0;
+  std::size_t detached_count = 0;
   for (const auto& n : nodes_) {
     if (n.id != static_cast<node_id>(&n - nodes_.data())) {
       throw std::logic_error("routing_tree: node id mismatch");
     }
+    if (n.detached) ++detached_count;
     if (n.is_source()) {
-      if (n.id != 0 || n.parent != invalid_node) {
+      if (n.id != 0 || n.parent != invalid_node || n.detached) {
         throw std::logic_error("routing_tree: source must be the root");
+      }
+    } else if (n.parent == invalid_node) {
+      if (!n.detached) {
+        throw std::logic_error("routing_tree: non-root node without a parent");
       }
     } else {
       if (n.parent >= nodes_.size()) {
         throw std::logic_error("routing_tree: dangling parent");
       }
-      // Children ids are strictly greater than parents by construction, which
-      // also rules out cycles.
+      // Children ids are strictly greater than parents by construction (graft
+      // re-checks it), which also rules out cycles.
       if (n.parent >= n.id) {
         throw std::logic_error("routing_tree: parent id not less than child");
+      }
+      // Detachment is a subtree property: a node hangs off a detached parent
+      // iff it is detached itself.
+      if (n.detached != nodes_[n.parent].detached) {
+        throw std::logic_error("routing_tree: detachment not subtree-consistent");
       }
       bool linked = false;
       for (node_id c : nodes_[n.parent].children) linked |= (c == n.id);
@@ -131,7 +344,7 @@ void routing_tree::validate() const {
       throw std::logic_error("routing_tree: negative wire length");
     }
     if (n.is_sink()) {
-      ++sink_count;
+      if (!n.detached) ++sink_count;
       if (!n.children.empty()) {
         throw std::logic_error("routing_tree: sink with children");
       }
@@ -139,6 +352,9 @@ void routing_tree::validate() const {
   }
   if (sink_count != num_sinks_) {
     throw std::logic_error("routing_tree: sink count mismatch");
+  }
+  if (detached_count != num_detached_) {
+    throw std::logic_error("routing_tree: detached count mismatch");
   }
   if (num_sinks_ == 0) {
     throw std::logic_error("routing_tree: tree has no sinks");

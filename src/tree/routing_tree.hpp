@@ -11,6 +11,14 @@
 // Nodes carry a die location so that the spatial variation model can
 // correlate nearby buffers; wire lengths default to the Manhattan distance
 // between the edge endpoints but may be set explicitly.
+//
+// ECO support: every node carries a lazily maintained *subtree content hash*
+// (FNV-1a over the node's kind, geometry and sink data, combined with each
+// child's edge length and subtree hash in child order). `apply_edit` mutates
+// the tree through a typed edit list and rehashes only the edited node's
+// root path, so an incremental solver can cheaply identify the subtrees an
+// edit left untouched. Pruned subtrees stay in the node array as *detached*
+// nodes (ids are stable) until grafted back.
 #pragma once
 
 #include <cstdint>
@@ -42,9 +50,69 @@ struct tree_node {
   std::vector<node_id> children;
   double sink_cap_pf = 0.0;  ///< sink only
   double sink_rat_ps = 0.0;  ///< sink only
+  bool detached = false;     ///< member of a pruned (ECO-detached) subtree
 
   bool is_sink() const { return kind == node_kind::sink; }
   bool is_source() const { return kind == node_kind::source; }
+};
+
+/// One structural ECO edit. Build with the static factories; apply with
+/// `routing_tree::apply_edit`, which validates, mutates, and incrementally
+/// rehashes only the affected root path.
+struct tree_edit {
+  enum class op_kind : std::uint8_t {
+    move_sink,      ///< relocate a sink; its parent wire follows
+    retarget_rat,   ///< change a sink's required arrival time
+    resize_wire,    ///< change the length of the wire above `node`
+    prune_subtree,  ///< detach `node`'s subtree from its parent
+    graft_subtree,  ///< re-attach a detached subtree under `new_parent`
+  };
+
+  op_kind op = op_kind::retarget_rat;
+  node_id node = invalid_node;
+  layout::point location;              ///< move_sink: new location
+  double value = 0.0;                  ///< retarget_rat: ps; resize_wire: um
+  node_id new_parent = invalid_node;   ///< graft_subtree
+  double wire_um = -1.0;  ///< move_sink/graft_subtree: <0 means Manhattan
+
+  static tree_edit move_sink(node_id sink, layout::point loc,
+                             double wire_um = -1.0) {
+    tree_edit e;
+    e.op = op_kind::move_sink;
+    e.node = sink;
+    e.location = loc;
+    e.wire_um = wire_um;
+    return e;
+  }
+  static tree_edit retarget_rat(node_id sink, double rat_ps) {
+    tree_edit e;
+    e.op = op_kind::retarget_rat;
+    e.node = sink;
+    e.value = rat_ps;
+    return e;
+  }
+  static tree_edit resize_wire(node_id node, double wire_um) {
+    tree_edit e;
+    e.op = op_kind::resize_wire;
+    e.node = node;
+    e.value = wire_um;
+    return e;
+  }
+  static tree_edit prune_subtree(node_id node) {
+    tree_edit e;
+    e.op = op_kind::prune_subtree;
+    e.node = node;
+    return e;
+  }
+  static tree_edit graft_subtree(node_id node, node_id new_parent,
+                                 double wire_um = -1.0) {
+    tree_edit e;
+    e.op = op_kind::graft_subtree;
+    e.node = node;
+    e.new_parent = new_parent;
+    e.wire_um = wire_um;
+    return e;
+  }
 };
 
 class routing_tree {
@@ -63,38 +131,76 @@ class routing_tree {
   node_id add_steiner(node_id parent, layout::point loc, double wire_um = -1.0);
 
   std::size_t num_nodes() const { return nodes_.size(); }
+  /// Attached sinks only; pruned sinks drop out until grafted back.
   std::size_t num_sinks() const { return num_sinks_; }
-  /// Legal buffer positions = every node except the source.
-  std::size_t num_buffer_positions() const { return nodes_.size() - 1; }
+  /// Legal buffer positions = every attached node except the source.
+  std::size_t num_buffer_positions() const {
+    return nodes_.size() - 1 - num_detached_;
+  }
+  /// Number of nodes currently inside pruned (detached) subtrees.
+  std::size_t num_detached() const { return num_detached_; }
+  bool has_detached() const { return num_detached_ != 0; }
 
   const tree_node& node(node_id id) const { return nodes_[id]; }
-  tree_node& node(node_id id) { return nodes_[id]; }
+  /// Mutable node access invalidates the cached subtree hashes (the caller
+  /// may change anything); prefer `apply_edit` which rehashes incrementally.
+  tree_node& node(node_id id) {
+    hashes_valid_ = false;
+    return nodes_[id];
+  }
   const std::vector<tree_node>& nodes() const { return nodes_; }
 
+  /// Applies one ECO edit. Validates the edit (throws std::logic_error /
+  /// std::invalid_argument on a malformed one), mutates the tree, and
+  /// incrementally recomputes subtree hashes along the affected root path
+  /// only -- O(depth + subtree) instead of O(n).
+  void apply_edit(const tree_edit& edit);
+
+  /// Content hash of the subtree rooted at `id` (see file comment for the
+  /// recipe). Lazily computed; O(1) when the cache is warm.
+  std::uint64_t subtree_hash(node_id id) const {
+    ensure_subtree_hashes();
+    return hashes_[id];
+  }
+
+  /// Forces the full hash pass now. Call before reading `subtree_hash`
+  /// concurrently: once warm, const reads race-free until the next mutation.
+  void ensure_subtree_hashes() const;
+
+  /// Number of nodes in the subtree rooted at `id` (including `id`).
+  std::size_t subtree_size(node_id id) const;
+
   /// Node ids in postorder (children before parents; root last). Computed
-  /// iteratively, so arbitrarily deep trees are safe.
+  /// iteratively, so arbitrarily deep trees are safe. Detached subtrees are
+  /// unreachable from the root and therefore excluded.
   std::vector<node_id> postorder() const;
 
-  /// All sink ids, in id order.
+  /// All attached sink ids, in id order.
   std::vector<node_id> sinks() const;
 
-  /// Sum of all wire lengths, um.
+  /// Sum of all attached wire lengths, um.
   double total_wire_um() const;
 
-  /// Smallest bbox containing every node location.
+  /// Smallest bbox containing every attached node location.
   layout::bbox bounding_box() const;
 
   /// Checks structural invariants (single root, parent/child consistency,
-  /// sinks are leaves, no cycles, wire lengths >= 0). Throws
-  /// std::logic_error with a description on violation.
+  /// sinks are leaves, no cycles, wire lengths >= 0, detached subtrees are
+  /// internally consistent). Throws std::logic_error with a description on
+  /// violation.
   void validate() const;
 
  private:
   node_id add_node(node_kind kind, node_id parent, layout::point loc,
                    double wire_um);
+  std::uint64_t compute_subtree_hash(node_id id) const;
+  void rehash_upward(node_id id) const;
 
   std::vector<tree_node> nodes_;
   std::size_t num_sinks_ = 0;
+  std::size_t num_detached_ = 0;
+  mutable std::vector<std::uint64_t> hashes_;
+  mutable bool hashes_valid_ = false;
 };
 
 }  // namespace vabi::tree

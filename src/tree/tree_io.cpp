@@ -50,6 +50,13 @@ bool read_double(std::istream& ls, double& out) {
 }  // namespace
 
 void write_tree(std::ostream& os, const routing_tree& tree) {
+  // The format has no way to express a node without a parent other than the
+  // source, so a tree holding pruned-but-not-regrafted subtrees cannot round
+  // trip; require the caller to resolve the ECO first.
+  if (tree.has_detached()) {
+    throw std::invalid_argument(
+        "write_tree: tree has detached (pruned) subtrees");
+  }
   os << "vabi-tree v1\n";
   os << "nodes " << tree.num_nodes() << "\n";
   // max_digits10: the shortest decimal precision guaranteed to round-trip

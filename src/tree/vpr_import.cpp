@@ -1,0 +1,348 @@
+#include "tree/vpr_import.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace vabi::tree {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("import_vpr_rc: line " + std::to_string(line) +
+                           ": " + what);
+}
+
+struct raw_edge {
+  std::uint64_t parent = 0;
+  bool is_switch = false;
+  double wire_um = 0.0;      ///< wire edge
+  double res_ohm = 0.0;      ///< switch edge
+  double tdel_ps = 0.0;      ///< switch edge
+};
+
+struct raw_node {
+  layout::point loc;
+  bool has_loc = false;
+  bool has_edge = false;
+  raw_edge edge;
+  bool is_sink = false;
+  double cap_pf = 0.0;
+  double rat_ps = 0.0;
+};
+
+}  // namespace
+
+routing_tree import_vpr_rc(std::istream& is) {
+  // std::map keeps the children of each parent in original-id order for free,
+  // which is what makes the renumbering deterministic.
+  std::map<std::uint64_t, raw_node> nodes;
+  bool has_wire = false;
+  double res_per_um = 0.0;
+  double cap_per_um = 0.0;
+  bool has_root = false;
+  std::uint64_t root_id = 0;
+  bool has_header = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank / comment-only line
+
+    if (!has_header) {
+      std::string version;
+      if (word != "vpr-rc" || !(ls >> version) || version != "v1") {
+        fail(line_no, "expected header 'vpr-rc v1'");
+      }
+      has_header = true;
+      continue;
+    }
+
+    if (word == "wire") {
+      if (!(ls >> res_per_um >> cap_per_um)) {
+        fail(line_no, "malformed wire directive");
+      }
+      if (res_per_um <= 0.0 || cap_per_um <= 0.0) {
+        fail(line_no, "wire model values must be > 0");
+      }
+      has_wire = true;
+    } else if (word == "node") {
+      std::uint64_t id = 0;
+      layout::point loc;
+      if (!(ls >> id >> loc.x >> loc.y)) {
+        fail(line_no, "malformed node directive");
+      }
+      raw_node& n = nodes[id];
+      if (n.has_loc) fail(line_no, "duplicate node " + std::to_string(id));
+      n.loc = loc;
+      n.has_loc = true;
+    } else if (word == "edge") {
+      std::uint64_t child = 0;
+      std::uint64_t parent = 0;
+      std::string kind;
+      if (!(ls >> child >> parent >> kind)) {
+        fail(line_no, "malformed edge directive");
+      }
+      if (child == parent) fail(line_no, "self-loop edge");
+      raw_node& n = nodes[child];
+      if (n.has_edge) {
+        fail(line_no,
+             "node " + std::to_string(child) + " already has a parent");
+      }
+      raw_edge e;
+      e.parent = parent;
+      if (kind == "wire") {
+        if (!(ls >> e.wire_um)) fail(line_no, "malformed wire edge");
+        if (e.wire_um < 0.0) fail(line_no, "negative wire length");
+      } else if (kind == "switch") {
+        if (!(ls >> e.res_ohm >> e.tdel_ps)) {
+          fail(line_no, "malformed switch edge");
+        }
+        if (e.res_ohm < 0.0 || e.tdel_ps < 0.0) {
+          fail(line_no, "negative switch parameters");
+        }
+        e.is_switch = true;
+      } else {
+        fail(line_no, "unknown edge kind '" + kind + "'");
+      }
+      n.has_edge = true;
+      n.edge = e;
+    } else if (word == "sink") {
+      std::uint64_t id = 0;
+      double cap = 0.0;
+      double rat = 0.0;
+      if (!(ls >> id >> cap >> rat)) fail(line_no, "malformed sink directive");
+      raw_node& n = nodes[id];
+      if (n.is_sink) fail(line_no, "duplicate sink " + std::to_string(id));
+      n.is_sink = true;
+      n.cap_pf = cap;
+      n.rat_ps = rat;
+    } else if (word == "root") {
+      if (!(ls >> root_id)) fail(line_no, "malformed root directive");
+      if (has_root) fail(line_no, "duplicate root directive");
+      has_root = true;
+    } else {
+      fail(line_no, "unknown directive '" + word + "'");
+    }
+  }
+
+  if (!has_header) fail(line_no, "empty document (missing 'vpr-rc v1')");
+  if (!has_root) fail(line_no, "missing root directive");
+
+  for (const auto& [id, n] : nodes) {
+    if (!n.has_loc) {
+      fail(line_no, "node " + std::to_string(id) +
+                        " referenced but never declared");
+    }
+    if (id == root_id) {
+      if (n.has_edge) fail(line_no, "root node has a parent edge");
+      if (n.is_sink) fail(line_no, "root node declared as sink");
+    } else if (!n.has_edge) {
+      fail(line_no,
+           "node " + std::to_string(id) + " is not connected to the root");
+    }
+  }
+  if (nodes.find(root_id) == nodes.end()) {
+    fail(line_no, "root node never declared");
+  }
+
+  // Children per parent, in original-id order (std::map iteration order).
+  std::map<std::uint64_t, std::vector<std::uint64_t>> children;
+  for (const auto& [id, n] : nodes) {
+    if (id == root_id) continue;
+    if (nodes.find(n.edge.parent) == nodes.end()) {
+      fail(line_no, "edge references undeclared node " +
+                        std::to_string(n.edge.parent));
+    }
+    children[n.edge.parent].push_back(id);
+  }
+
+  // Breadth-first renumbering from the root: parents get smaller dense ids
+  // than children, exactly the order routing_tree's add_* API wants. Nodes
+  // not reachable from the root (a cycle among themselves) are caught below.
+  routing_tree tree(nodes.at(root_id).loc);
+  std::map<std::uint64_t, node_id> dense;
+  dense[root_id] = tree.root();
+  std::deque<std::uint64_t> queue{root_id};
+  std::size_t visited = 1;
+  while (!queue.empty()) {
+    const std::uint64_t here = queue.front();
+    queue.pop_front();
+    const auto kids = children.find(here);
+    if (kids == children.end()) continue;
+    for (const std::uint64_t child : kids->second) {
+      const raw_node& n = nodes.at(child);
+      double um = 0.0;
+      if (n.edge.is_switch) {
+        if (!has_wire) {
+          fail(line_no, "switch edge requires a wire directive");
+        }
+        // Equivalent length: series resistance exactly, intrinsic delay via
+        // the Elmore-matching length (see header).
+        um = n.edge.res_ohm / res_per_um;
+        if (n.edge.tdel_ps > 0.0) {
+          um += std::sqrt(2.0 * n.edge.tdel_ps / (res_per_um * cap_per_um));
+        }
+      } else {
+        um = n.edge.wire_um;
+      }
+      const node_id parent = dense.at(here);
+      dense[child] = n.is_sink
+                         ? tree.add_sink(parent, n.loc, n.cap_pf, n.rat_ps, um)
+                         : tree.add_steiner(parent, n.loc, um);
+      queue.push_back(child);
+      ++visited;
+    }
+  }
+  if (visited != nodes.size()) {
+    fail(line_no, "netlist has nodes unreachable from the root (cycle?)");
+  }
+
+  tree.validate();
+  return tree;
+}
+
+routing_tree import_vpr_rc_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return import_vpr_rc(is);
+}
+
+std::string make_vpr_style_net_text(const vpr_net_options& options) {
+  if (options.num_sinks == 0) {
+    throw std::invalid_argument("make_vpr_style_net: num_sinks must be > 0");
+  }
+  if (options.fanout < 2) {
+    throw std::invalid_argument("make_vpr_style_net: fanout must be >= 2");
+  }
+  if (options.die_side_um <= 0.0 || options.seg_length_um <= 0.0) {
+    throw std::invalid_argument(
+        "make_vpr_style_net: die side and segment length must be > 0");
+  }
+
+  // Build the fanout tree over the sinks bottom-up: each round groups up to
+  // `fanout` open branches under a new switch block until one root remains.
+  // Every hop into a block is one switch followed by one wire segment --
+  // emitted as a switch edge child->block; the segment length rides in the
+  // child's own wire edge when the child is a leaf (sinks hang off the
+  // fabric by a plain wire), and in the switch's equivalent-length slot
+  // implicitly otherwise. Positions spiral deterministically over the die.
+  struct gen_node {
+    layout::point loc;
+    bool is_sink = false;
+    double cap_pf = 0.0;
+    double rat_ps = 0.0;
+    std::uint64_t parent = 0;
+    bool has_parent = false;
+    bool switch_edge = false;
+    double wire_um = 0.0;
+  };
+
+  auto rng = stats::make_rng(options.seed, /*stream=*/17);
+  std::uniform_real_distribution<double> pos(0.0, options.die_side_um);
+
+  std::vector<gen_node> gen;
+  gen.reserve(2 * options.num_sinks);
+  std::vector<std::size_t> open;  // indices of current-round branch roots
+  for (std::size_t i = 0; i < options.num_sinks; ++i) {
+    gen_node s;
+    s.loc = {pos(rng), pos(rng)};
+    s.is_sink = true;
+    s.cap_pf = options.sink_cap_pf;
+    s.rat_ps = options.sink_rat_ps;
+    open.push_back(gen.size());
+    gen.push_back(s);
+  }
+  while (open.size() > 1) {
+    std::vector<std::size_t> next;
+    for (std::size_t base = 0; base < open.size(); base += options.fanout) {
+      const std::size_t end = std::min(base + options.fanout, open.size());
+      if (end - base == 1) {
+        next.push_back(open[base]);  // odd branch rides up a round
+        continue;
+      }
+      gen_node block;
+      layout::point c{0.0, 0.0};
+      for (std::size_t k = base; k < end; ++k) {
+        c.x += gen[open[k]].loc.x;
+        c.y += gen[open[k]].loc.y;
+      }
+      block.loc = {c.x / static_cast<double>(end - base),
+                   c.y / static_cast<double>(end - base)};
+      const std::size_t block_idx = gen.size();
+      gen.push_back(block);
+      for (std::size_t k = base; k < end; ++k) {
+        gen_node& child = gen[open[k]];
+        child.parent = block_idx;
+        child.has_parent = true;
+        // Sinks hang off the switch block by a plain wire stub; internal
+        // branches connect through the programmable fabric (a switch).
+        child.switch_edge = !child.is_sink;
+        child.wire_um = options.seg_length_um;
+      }
+      next.push_back(block_idx);
+    }
+    open = std::move(next);
+  }
+
+  // The last remaining branch root becomes the child of the source.
+  gen_node source;
+  source.loc = {options.die_side_um / 2.0, options.die_side_um / 2.0};
+  const std::size_t source_idx = gen.size();
+  gen.push_back(source);
+  gen[open[0]].parent = source_idx;
+  gen[open[0]].has_parent = true;
+  gen[open[0]].switch_edge = true;
+
+  // Emit with shuffled (non-dense, interleaved) ids: original index * 7 + 3,
+  // declarations sink-before-node-before-edge -- deliberately not the
+  // importer's output order, so importing exercises the renumbering.
+  const auto ext_id = [](std::size_t idx) { return idx * 7 + 3; };
+  std::ostringstream os;
+  os << "vpr-rc v1\n";
+  os << "# generated: vpr-style fanout net, " << options.num_sinks
+     << " sinks, fanout " << options.fanout << ", seed " << options.seed
+     << "\n";
+  os << "wire " << options.wire_res_per_um << " " << options.wire_cap_per_um
+     << "\n";
+  os << "root " << ext_id(source_idx) << "\n";
+  for (std::size_t i = 0; i < gen.size(); ++i) {
+    if (gen[i].is_sink) {
+      os << "sink " << ext_id(i) << " " << gen[i].cap_pf << " "
+         << gen[i].rat_ps << "\n";
+    }
+  }
+  for (std::size_t i = 0; i < gen.size(); ++i) {
+    os << "node " << ext_id(i) << " " << gen[i].loc.x << " " << gen[i].loc.y
+       << "\n";
+  }
+  for (std::size_t i = 0; i < gen.size(); ++i) {
+    if (!gen[i].has_parent) continue;
+    if (gen[i].switch_edge) {
+      os << "edge " << ext_id(i) << " " << ext_id(gen[i].parent) << " switch "
+         << options.switch_res_ohm << " " << options.switch_tdel_ps << "\n";
+    } else {
+      os << "edge " << ext_id(i) << " " << ext_id(gen[i].parent) << " wire "
+         << gen[i].wire_um << "\n";
+    }
+  }
+  return os.str();
+}
+
+routing_tree make_vpr_style_net(const vpr_net_options& options) {
+  return import_vpr_rc_from_string(make_vpr_style_net_text(options));
+}
+
+}  // namespace vabi::tree

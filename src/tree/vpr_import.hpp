@@ -1,0 +1,72 @@
+// VPR-flavoured routing import.
+//
+// FPGA routers (VPR and its descendants, e.g. the mrfpga buffer-insertion
+// pass) describe a routed net as a list of routing-resource nodes connected
+// by two kinds of edges: plain RC wire segments and *switches* -- programmable
+// connections with a lumped series resistance R and an intrinsic delay Tdel.
+// This module imports that shape of netlist into a routing_tree so the DP
+// engines (core/) can buffer FPGA-style nets, and provides a deterministic
+// generator of such netlists for the large-fanout stress tiers.
+//
+// Text format ("vpr-rc v1"; '#' starts a comment, blank lines ignored,
+// directives in any order, node ids arbitrary non-negative integers):
+//
+//   vpr-rc v1
+//   wire <res_ohm_per_um> <cap_pf_per_um>
+//   node <id> <x> <y>
+//   edge <child> <parent> wire <length_um>
+//   edge <child> <parent> switch <R_ohm> <Tdel_ps>
+//   sink <id> <cap_pf> <rat_ps>
+//   root <id>
+//
+// Switch lowering: routing_tree edges carry only a length, so a switch
+// (R, Tdel) is replaced by the equivalent wire length under the file's wire
+// model -- R/res_per_um for the resistance plus sqrt(2*Tdel/(res*cap)) for
+// the intrinsic delay (the length whose Elmore delay res*cap*l^2/2 equals
+// Tdel). This preserves the switch's series resistance exactly and its
+// intrinsic delay to first order; the `wire` directive is therefore required
+// whenever a switch edge appears.
+//
+// Import renumbers nodes into the dense parents-before-children id space
+// routing_tree requires (breadth-first from the root, ties broken by
+// original id), so a round-trip through tree_io is exact once imported.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "tree/routing_tree.hpp"
+
+namespace vabi::tree {
+
+/// Parses a vpr-rc v1 document; throws std::runtime_error with a
+/// line-numbered message on malformed input. The result is validate()d.
+routing_tree import_vpr_rc(std::istream& is);
+routing_tree import_vpr_rc_from_string(const std::string& text);
+
+/// Generator of VPR-style nets: a `fanout`-ary tree of switch blocks whose
+/// hops are a switch (R, Tdel) followed by a wire segment, leaves are the
+/// sinks. Deterministic in the seed. The generator emits the vpr-rc text
+/// (with intentionally shuffled ids/directive order, exercising the
+/// importer's renumbering); import_vpr_rc turns it into a tree.
+struct vpr_net_options {
+  std::size_t num_sinks = 16;
+  std::size_t fanout = 4;           ///< switch-block fanout, >= 2
+  double seg_length_um = 120.0;     ///< wire segment per hop
+  double wire_res_per_um = 0.1;     ///< ohm/um of the wire model line
+  double wire_cap_per_um = 0.0002;  ///< pF/um of the wire model line
+  double switch_res_ohm = 200.0;
+  double switch_tdel_ps = 5.0;
+  double sink_cap_pf = 0.020;
+  double sink_rat_ps = 0.0;
+  double die_side_um = 8000.0;
+  std::uint64_t seed = 1;
+};
+
+std::string make_vpr_style_net_text(const vpr_net_options& options);
+
+/// Convenience: generate + import in one step.
+routing_tree make_vpr_style_net(const vpr_net_options& options);
+
+}  // namespace vabi::tree

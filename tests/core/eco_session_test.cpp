@@ -1,0 +1,312 @@
+// ECO session (core/slab_cache.hpp) differential tests: warm incremental
+// re-solves must be bit-identical to cache-bypassing cold solves across the
+// 2P / 4P / corner engines, serial and parallel drivers, and li_shi modes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/slab_cache.hpp"
+#include "core/statistical_dp.hpp"
+#include "core/van_ginneken.hpp"
+#include "tree/generators.hpp"
+
+namespace vabi::core {
+namespace {
+
+layout::process_model make_wid_model(const tree::routing_tree& t) {
+  layout::process_model_config c;
+  c.mode = layout::wid_mode();
+  layout::bbox die = t.bounding_box();
+  die.expand({die.hi.x + 1.0, die.hi.y + 1.0});
+  return layout::process_model{die, c};
+}
+
+stat_options base_options(pruning_kind rule, li_shi_mode ls) {
+  stat_options o;
+  o.library = timing::standard_library();
+  o.driver_res_ohm = 150.0;
+  o.rule = rule;
+  o.li_shi = ls;
+  o.max_candidates = 4'000'000;  // keeps 4P bounded on its small tree
+  return o;
+}
+
+tree::routing_tree make_tree(pruning_kind rule, std::uint64_t seed) {
+  tree::random_tree_options to;
+  // 4P is the O(N^2)-prune baseline; keep its tree small, the others real.
+  to.num_sinks = rule == pruning_kind::four_param ? 10 : 150;
+  to.die_side_um = 8000.0;
+  to.seed = seed;
+  return tree::make_random_tree(to);
+}
+
+void expect_same_result(const stat_result& a, const stat_result& b) {
+  EXPECT_TRUE(a.root_rat == b.root_rat);
+  EXPECT_EQ(form_hash(a.root_rat), form_hash(b.root_rat));
+  EXPECT_EQ(a.num_buffers, b.num_buffers);
+  ASSERT_EQ(a.assignment.num_nodes(), b.assignment.num_nodes());
+  for (tree::node_id n = 0; n < a.assignment.num_nodes(); ++n) {
+    ASSERT_EQ(a.assignment.has_buffer(n), b.assignment.has_buffer(n)) << n;
+    if (a.assignment.has_buffer(n)) {
+      EXPECT_EQ(a.assignment.buffer(n), b.assignment.buffer(n)) << n;
+    }
+  }
+}
+
+// Applies a small ECO: move one sink and retarget another's RAT.
+void apply_eco(tree::routing_tree& t) {
+  const auto sinks = t.sinks();
+  ASSERT_GE(sinks.size(), 2u);
+  const tree::node_id a = sinks[sinks.size() / 3];
+  const tree::node_id b = sinks[(2 * sinks.size()) / 3];
+  const layout::point p = t.node(a).location;
+  t.apply_edit(tree::tree_edit::move_sink(a, {p.x + 150.0, p.y - 90.0}));
+  t.apply_edit(tree::tree_edit::retarget_rat(b, t.node(b).sink_rat_ps - 37.0));
+}
+
+struct eco_case {
+  pruning_kind rule;
+  int threads;  // 0 = serial session solve
+  li_shi_mode li_shi;
+};
+
+std::ostream& operator<<(std::ostream& os, const eco_case& c) {
+  return os << to_string(c.rule) << "/t" << c.threads << "/li_shi="
+            << static_cast<int>(c.li_shi);
+}
+
+class EcoDifferential : public ::testing::TestWithParam<eco_case> {};
+
+TEST_P(EcoDifferential, WarmSolveAfterEditIsBitIdenticalToCold) {
+  const eco_case c = GetParam();
+  auto t = make_tree(c.rule, 501 + static_cast<std::uint64_t>(c.threads));
+  auto model = make_wid_model(t);
+  const auto options = base_options(c.rule, c.li_shi);
+
+  solve_session session(model);
+  std::unique_ptr<thread_pool> pool;
+  if (c.threads > 0) pool = std::make_unique<thread_pool>(c.threads);
+  const auto run = [&](const tree::routing_tree& tr) {
+    return c.threads > 0 ? session.solve_parallel(tr, options, *pool)
+                         : session.solve(tr, options);
+  };
+
+  const auto first = run(t);
+  ASSERT_TRUE(first.ok()) << to_string(first.code());
+  EXPECT_EQ(first.value().stats.cache_hits, 0u);
+  EXPECT_GT(session.cached_nodes(), 0u);
+
+  apply_eco(t);
+
+  const auto warm = run(t);
+  ASSERT_TRUE(warm.ok()) << to_string(warm.code());
+  EXPECT_GT(warm.value().stats.cache_hits, 0u);
+  EXPECT_GT(warm.value().stats.nodes_reused, 0u);
+  EXPECT_LT(warm.value().stats.cache_misses, t.num_nodes());
+
+  const auto cold = session.solve_cold(t, options);
+  ASSERT_TRUE(cold.ok()) << to_string(cold.code());
+  EXPECT_EQ(cold.value().stats.cache_hits, 0u);
+  expect_same_result(warm.value(), cold.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RulesThreadsLiShi, EcoDifferential,
+    ::testing::Values(
+        eco_case{pruning_kind::two_param, 0, li_shi_mode::never},
+        eco_case{pruning_kind::two_param, 0, li_shi_mode::always},
+        eco_case{pruning_kind::two_param, 1, li_shi_mode::always},
+        eco_case{pruning_kind::two_param, 2, li_shi_mode::never},
+        eco_case{pruning_kind::two_param, 2, li_shi_mode::always},
+        eco_case{pruning_kind::two_param, 8, li_shi_mode::always},
+        eco_case{pruning_kind::corner, 0, li_shi_mode::automatic},
+        eco_case{pruning_kind::corner, 2, li_shi_mode::automatic},
+        eco_case{pruning_kind::corner, 8, li_shi_mode::automatic},
+        eco_case{pruning_kind::four_param, 0, li_shi_mode::automatic},
+        eco_case{pruning_kind::four_param, 2, li_shi_mode::automatic}));
+
+TEST(EcoSession, FirstSolveMatchesOneShotEngine) {
+  const auto t = make_tree(pruning_kind::two_param, 91);
+  const auto options = base_options(pruning_kind::two_param,
+                                    li_shi_mode::automatic);
+
+  auto m1 = make_wid_model(t);
+  solve_session session(m1);
+  const auto s = session.solve(t, options);
+  ASSERT_TRUE(s.ok());
+
+  auto m2 = make_wid_model(t);
+  const auto one_shot = run_statistical_insertion(t, m2, options);
+  ASSERT_TRUE(one_shot.ok());
+  expect_same_result(s.value(), one_shot);
+  // One-shot entry points never touch a cache.
+  EXPECT_EQ(one_shot.stats.cache_hits, 0u);
+  EXPECT_EQ(one_shot.stats.cache_misses, 0u);
+  EXPECT_EQ(one_shot.stats.nodes_reused, 0u);
+}
+
+TEST(EcoSession, UneditedResolveIsAFullHit) {
+  const auto t = make_tree(pruning_kind::two_param, 92);
+  auto model = make_wid_model(t);
+  solve_session session(model);
+  const auto options = base_options(pruning_kind::two_param,
+                                    li_shi_mode::automatic);
+
+  const auto first = session.solve(t, options);
+  ASSERT_TRUE(first.ok());
+  const auto again = session.solve(t, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().stats.cache_misses, 0u);
+  EXPECT_GT(again.value().stats.cache_hits, 0u);
+  // A full hit adopts at the root, covering every node.
+  EXPECT_EQ(again.value().stats.nodes_reused, t.num_nodes());
+  EXPECT_EQ(again.value().stats.cache_hits, 1u);
+  expect_same_result(first.value(), again.value());
+}
+
+TEST(EcoSession, OptionChangeFlushesTheCache) {
+  const auto t = make_tree(pruning_kind::two_param, 93);
+  auto model = make_wid_model(t);
+  solve_session session(model);
+  auto options = base_options(pruning_kind::two_param, li_shi_mode::automatic);
+
+  ASSERT_TRUE(session.solve(t, options).ok());
+  EXPECT_GT(session.cached_nodes(), 0u);
+
+  options.selection_percentile = 0.05;
+  const auto r = session.solve(t, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().stats.cache_hits, 0u);  // fingerprint change = flush
+
+  auto m2 = make_wid_model(t);
+  const auto fresh = run_statistical_insertion(t, m2, options);
+  ASSERT_TRUE(fresh.ok());
+  expect_same_result(r.value(), fresh);
+}
+
+TEST(EcoSession, CancelledSolveLeavesReusableState) {
+  const auto t = make_tree(pruning_kind::two_param, 94);
+  auto model = make_wid_model(t);
+  solve_session session(model);
+  const auto options = base_options(pruning_kind::two_param,
+                                    li_shi_mode::automatic);
+
+  cancel_token cancel;
+  cancel.request_stop();
+  const auto aborted = session.solve(t, options, &cancel);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.code(), solve_code::cancelled);
+
+  const auto clean = session.solve(t, options);
+  ASSERT_TRUE(clean.ok());
+  const auto cold = session.solve_cold(t, options);
+  ASSERT_TRUE(cold.ok());
+  expect_same_result(clean.value(), cold.value());
+}
+
+TEST(EcoSession, ResetDropsEverything) {
+  auto t = make_tree(pruning_kind::two_param, 95);
+  auto model = make_wid_model(t);
+  solve_session session(model);
+  const auto options = base_options(pruning_kind::two_param,
+                                    li_shi_mode::automatic);
+  ASSERT_TRUE(session.solve(t, options).ok());
+  ASSERT_GT(session.cached_nodes(), 0u);
+  session.reset();
+  EXPECT_EQ(session.cached_nodes(), 0u);
+  const auto r = session.solve(t, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().stats.cache_hits, 0u);
+}
+
+TEST(EcoSession, ParallelWarmMatchesSerialWarm) {
+  auto t = make_tree(pruning_kind::two_param, 96);
+  const auto options = base_options(pruning_kind::two_param,
+                                    li_shi_mode::automatic);
+
+  auto m1 = make_wid_model(t);
+  solve_session serial_session(m1);
+  auto m2 = make_wid_model(t);
+  solve_session parallel_session(m2);
+  thread_pool pool(4);
+
+  ASSERT_TRUE(serial_session.solve(t, options).ok());
+  ASSERT_TRUE(parallel_session.solve_parallel(t, options, pool).ok());
+
+  apply_eco(t);
+
+  const auto ws = serial_session.solve(t, options);
+  const auto wp = parallel_session.solve_parallel(t, options, pool);
+  ASSERT_TRUE(ws.ok());
+  ASSERT_TRUE(wp.ok());
+  EXPECT_EQ(ws.value().stats.cache_hits, wp.value().stats.cache_hits);
+  EXPECT_EQ(ws.value().stats.cache_misses, wp.value().stats.cache_misses);
+  EXPECT_EQ(ws.value().stats.nodes_reused, wp.value().stats.nodes_reused);
+  expect_same_result(ws.value(), wp.value());
+}
+
+TEST(DetSession, WarmEqualsFreshVanGinneken) {
+  auto t = make_tree(pruning_kind::two_param, 97);
+  det_options d;
+  d.library = timing::standard_library();
+  d.driver_res_ohm = 150.0;
+
+  det_session session;
+  const auto first = session.solve(t, d);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().stats.cache_hits, 0u);
+  EXPECT_GT(session.cached_nodes(), 0u);
+
+  apply_eco(t);
+
+  const auto warm = session.solve(t, d);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(warm.value().stats.cache_hits, 0u);
+  EXPECT_LT(warm.value().stats.cache_misses, t.num_nodes());
+
+  const auto cold = session.solve_cold(t, d);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold.value().stats.cache_hits, 0u);
+  EXPECT_EQ(warm.value().root_rat_ps, cold.value().root_rat_ps);
+  EXPECT_EQ(warm.value().num_buffers, cold.value().num_buffers);
+  for (tree::node_id n = 0; n < warm.value().assignment.num_nodes(); ++n) {
+    ASSERT_EQ(warm.value().assignment.has_buffer(n),
+              cold.value().assignment.has_buffer(n));
+    if (warm.value().assignment.has_buffer(n)) {
+      EXPECT_EQ(warm.value().assignment.buffer(n),
+                cold.value().assignment.buffer(n));
+    }
+  }
+
+  // And against the one-shot engine, which never touches a cache.
+  const auto fresh = run_van_ginneken(t, d);
+  EXPECT_EQ(warm.value().root_rat_ps, fresh.root_rat_ps);
+  EXPECT_EQ(fresh.stats.cache_hits, 0u);
+  EXPECT_EQ(fresh.stats.cache_misses, 0u);
+}
+
+TEST(DetSession, LiShiModesAgreeWarm) {
+  auto t = make_tree(pruning_kind::two_param, 98);
+  det_options never_opts;
+  never_opts.library = timing::standard_library();
+  never_opts.li_shi = li_shi_mode::never;
+  det_options always_opts = never_opts;
+  always_opts.li_shi = li_shi_mode::always;
+
+  det_session s_never;
+  det_session s_always;
+  ASSERT_TRUE(s_never.solve(t, never_opts).ok());
+  ASSERT_TRUE(s_always.solve(t, always_opts).ok());
+  apply_eco(t);
+  const auto rn = s_never.solve(t, never_opts);
+  const auto ra = s_always.solve(t, always_opts);
+  ASSERT_TRUE(rn.ok());
+  ASSERT_TRUE(ra.ok());
+  EXPECT_EQ(rn.value().root_rat_ps, ra.value().root_rat_ps);
+  EXPECT_EQ(rn.value().num_buffers, ra.value().num_buffers);
+}
+
+}  // namespace
+}  // namespace vabi::core

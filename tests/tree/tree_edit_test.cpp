@@ -1,0 +1,274 @@
+// ECO edit API and incremental subtree-hash maintenance
+// (tree/routing_tree.hpp): every apply_edit must leave the lazily maintained
+// hashes bit-identical to a from-scratch recompute, and the degenerate shapes
+// (single node, 10k-deep chain, duplicate sink locations) must be safe.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "tree/generators.hpp"
+#include "tree/routing_tree.hpp"
+#include "tree/tree_io.hpp"
+
+namespace vabi::tree {
+namespace {
+
+routing_tree small_random(std::uint64_t seed, std::size_t sinks = 40) {
+  random_tree_options o;
+  o.num_sinks = sinks;
+  o.die_side_um = 4000.0;
+  o.seed = seed;
+  return make_random_tree(o);
+}
+
+/// Reference: dirty the cache (mutable node access invalidates it), forcing
+/// the next subtree_hash call into the full O(n) recompute.
+std::uint64_t full_recompute_root_hash(routing_tree& t) {
+  t.node(t.root());
+  return t.subtree_hash(t.root());
+}
+
+std::vector<std::uint64_t> all_hashes(const routing_tree& t) {
+  std::vector<std::uint64_t> h;
+  h.reserve(t.num_nodes());
+  for (node_id id = 0; id < t.num_nodes(); ++id) {
+    h.push_back(t.subtree_hash(id));
+  }
+  return h;
+}
+
+TEST(TreeEdit, MoveSinkIncrementalHashMatchesFullRecompute) {
+  auto t = small_random(11);
+  const auto sinks = t.sinks();
+  const node_id victim = sinks[sinks.size() / 2];
+  const std::uint64_t before = t.subtree_hash(t.root());
+
+  t.apply_edit(tree_edit::move_sink(victim, {123.0, 456.0}));
+  const std::uint64_t incremental = t.subtree_hash(t.root());
+  EXPECT_NE(incremental, before);
+  EXPECT_EQ(incremental, full_recompute_root_hash(t));
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.node(victim).location, (layout::point{123.0, 456.0}));
+}
+
+TEST(TreeEdit, MoveSinkDefaultWireIsManhattan) {
+  auto t = small_random(12);
+  const node_id victim = t.sinks().front();
+  const node_id parent = t.node(victim).parent;
+  t.apply_edit(tree_edit::move_sink(victim, {500.0, 700.0}));
+  const auto& p = t.node(parent).location;
+  EXPECT_DOUBLE_EQ(t.node(victim).parent_wire_um,
+                   std::abs(p.x - 500.0) + std::abs(p.y - 700.0));
+
+  t.apply_edit(tree_edit::move_sink(victim, {600.0, 800.0}, 42.0));
+  EXPECT_DOUBLE_EQ(t.node(victim).parent_wire_um, 42.0);
+  EXPECT_EQ(t.subtree_hash(t.root()), full_recompute_root_hash(t));
+}
+
+TEST(TreeEdit, RetargetRatOnlyTouchesRootPath) {
+  auto t = small_random(13);
+  const auto sinks = t.sinks();
+  const node_id victim = sinks.back();
+  const auto before = all_hashes(t);
+
+  t.apply_edit(tree_edit::retarget_rat(victim, -250.0));
+  EXPECT_DOUBLE_EQ(t.node(victim).sink_rat_ps, -250.0);
+  const auto after = all_hashes(t);
+
+  // Exactly the victim's root path changed; every other subtree is intact.
+  std::vector<bool> on_path(t.num_nodes(), false);
+  for (node_id id = victim; id != invalid_node; id = t.node(id).parent) {
+    on_path[id] = true;
+  }
+  for (node_id id = 0; id < t.num_nodes(); ++id) {
+    if (on_path[id]) {
+      EXPECT_NE(after[id], before[id]) << "path node " << id;
+    } else {
+      EXPECT_EQ(after[id], before[id]) << "off-path node " << id;
+    }
+  }
+  EXPECT_EQ(t.subtree_hash(t.root()), full_recompute_root_hash(t));
+}
+
+TEST(TreeEdit, ResizeWireInvalidatesAncestorsOnly) {
+  auto t = small_random(14);
+  // Pick an internal node with children (not root).
+  node_id victim = invalid_node;
+  for (node_id id = 1; id < t.num_nodes(); ++id) {
+    if (!t.node(id).children.empty()) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, invalid_node);
+  const std::uint64_t sub_before = t.subtree_hash(victim);
+
+  t.apply_edit(tree_edit::resize_wire(victim, 999.0));
+  EXPECT_DOUBLE_EQ(t.node(victim).parent_wire_um, 999.0);
+  // The wire above `victim` is hashed at the parent, so the victim's own
+  // subtree hash is untouched -- the invalidation stops strictly above it.
+  EXPECT_EQ(t.subtree_hash(victim), sub_before);
+  EXPECT_EQ(t.subtree_hash(t.root()), full_recompute_root_hash(t));
+}
+
+TEST(TreeEdit, PruneThenGraftBackRestoresEverything) {
+  auto t = small_random(15);
+  // Graft appends to the parent's child list, so exact hash restoration
+  // needs a victim that already is the *last* child of its parent; pick one
+  // under a branching node so the rest of the tree keeps attached sinks.
+  node_id victim = invalid_node;
+  for (const node_id id : t.postorder()) {
+    if (t.node(id).children.size() >= 2) {
+      victim = t.node(id).children.back();
+      break;
+    }
+  }
+  ASSERT_NE(victim, invalid_node);
+  const node_id parent = t.node(victim).parent;
+  const double wire = t.node(victim).parent_wire_um;
+  const std::uint64_t root_before = t.subtree_hash(t.root());
+  const std::size_t sinks_before = t.num_sinks();
+  const std::size_t positions_before = t.num_buffer_positions();
+  const std::size_t sub = t.subtree_size(victim);
+
+  t.apply_edit(tree_edit::prune_subtree(victim));
+  EXPECT_TRUE(t.has_detached());
+  EXPECT_EQ(t.num_detached(), sub);
+  EXPECT_EQ(t.num_buffer_positions(), positions_before - sub);
+  EXPECT_LT(t.num_sinks(), sinks_before);
+  EXPECT_TRUE(t.node(victim).detached);
+  EXPECT_EQ(t.node(victim).parent, invalid_node);
+  EXPECT_NO_THROW(t.validate());
+  // Detached nodes drop out of the traversals.
+  for (const node_id id : t.postorder()) {
+    EXPECT_FALSE(t.node(id).detached);
+  }
+  // The serialized format cannot express detached subtrees.
+  EXPECT_THROW(write_tree_to_string(t), std::invalid_argument);
+
+  t.apply_edit(tree_edit::graft_subtree(victim, parent, wire));
+  EXPECT_FALSE(t.has_detached());
+  EXPECT_EQ(t.num_sinks(), sinks_before);
+  EXPECT_EQ(t.num_buffer_positions(), positions_before);
+  EXPECT_NO_THROW(t.validate());
+  // Same parent, same wire, same child order (victim was the last child):
+  // the content hash must be restored exactly.
+  EXPECT_EQ(t.subtree_hash(t.root()), root_before);
+  EXPECT_EQ(t.subtree_hash(t.root()), full_recompute_root_hash(t));
+}
+
+TEST(TreeEdit, GraftToNewParentChangesHash) {
+  auto t = small_random(16);
+  const auto sinks = t.sinks();
+  const node_id victim = sinks.back();
+  const std::uint64_t before = t.subtree_hash(t.root());
+
+  t.apply_edit(tree_edit::prune_subtree(victim));
+  // Re-attach directly under the root (anti-cycle invariant: parent id must
+  // be smaller than the grafted node's id -- the root always qualifies).
+  t.apply_edit(tree_edit::graft_subtree(victim, t.root()));
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_NE(t.subtree_hash(t.root()), before);
+  EXPECT_EQ(t.subtree_hash(t.root()), full_recompute_root_hash(t));
+  EXPECT_DOUBLE_EQ(
+      t.node(victim).parent_wire_um,
+      std::abs(t.node(victim).location.x - t.node(t.root()).location.x) +
+          std::abs(t.node(victim).location.y - t.node(t.root()).location.y));
+}
+
+TEST(TreeEdit, InvalidEditsThrow) {
+  auto t = small_random(17);
+  node_id steiner = invalid_node;
+  for (node_id id = 1; id < t.num_nodes(); ++id) {
+    if (!t.node(id).is_sink()) {
+      steiner = id;
+      break;
+    }
+  }
+  ASSERT_NE(steiner, invalid_node);
+  const node_id sink = t.sinks().front();
+
+  // Sink-only ops on non-sinks.
+  EXPECT_THROW(t.apply_edit(tree_edit::move_sink(steiner, {0, 0})),
+               std::logic_error);
+  EXPECT_THROW(t.apply_edit(tree_edit::retarget_rat(steiner, 1.0)),
+               std::logic_error);
+  // Source cannot be rewired or pruned.
+  EXPECT_THROW(t.apply_edit(tree_edit::resize_wire(t.root(), 1.0)),
+               std::logic_error);
+  EXPECT_THROW(t.apply_edit(tree_edit::prune_subtree(t.root())),
+               std::logic_error);
+  // Negative wire length.
+  EXPECT_THROW(t.apply_edit(tree_edit::resize_wire(sink, -1.0)),
+               std::invalid_argument);
+  // Graft of a node that is not a detached root.
+  EXPECT_THROW(t.apply_edit(tree_edit::graft_subtree(sink, t.root())),
+               std::logic_error);
+
+  t.apply_edit(tree_edit::prune_subtree(sink));
+  // Double prune; ops on detached nodes; graft under a sink / larger id.
+  EXPECT_THROW(t.apply_edit(tree_edit::prune_subtree(sink)), std::logic_error);
+  EXPECT_THROW(t.apply_edit(tree_edit::resize_wire(sink, 1.0)),
+               std::logic_error);
+  node_id other_sink = invalid_node;
+  for (const node_id s : t.sinks()) {
+    if (s != sink) other_sink = s;
+  }
+  ASSERT_NE(other_sink, invalid_node);
+  EXPECT_THROW(t.apply_edit(tree_edit::graft_subtree(sink, other_sink)),
+               std::logic_error);
+  // Hash cache stays coherent through the failed edits.
+  EXPECT_EQ(t.subtree_hash(t.root()), full_recompute_root_hash(t));
+}
+
+TEST(TreeEdit, SingleNodeTree) {
+  routing_tree t({100.0, 100.0});
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_EQ(t.num_sinks(), 0u);
+  EXPECT_EQ(t.num_buffer_positions(), 0u);
+  // Hashing a sourceless-only tree is well defined...
+  EXPECT_NE(t.subtree_hash(t.root()), 0u);
+  EXPECT_EQ(t.subtree_size(t.root()), 1u);
+  EXPECT_TRUE(t.postorder().size() == 1);
+  // ...but it is not a solvable instance.
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(TreeEdit, DeepChainTenThousandIsIterative) {
+  chain_options o;
+  o.segments = 10'000;  // recursion here would overflow the stack
+  auto t = make_chain(o);
+  ASSERT_EQ(t.num_nodes(), o.segments + 1);
+  EXPECT_EQ(t.postorder().size(), t.num_nodes());
+  t.ensure_subtree_hashes();
+  const std::uint64_t before = t.subtree_hash(t.root());
+
+  // Edit at the deep end: the incremental rehash walks the full 10k path.
+  const node_id sink = t.sinks().front();
+  t.apply_edit(tree_edit::retarget_rat(sink, -77.0));
+  EXPECT_NE(t.subtree_hash(t.root()), before);
+  EXPECT_EQ(t.subtree_hash(t.root()), full_recompute_root_hash(t));
+  EXPECT_EQ(t.subtree_size(t.root()), t.num_nodes());
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(TreeEdit, DuplicateSinkLocationsHashEqual) {
+  routing_tree t({0.0, 0.0});
+  const node_id j = t.add_steiner(t.root(), {50.0, 50.0});
+  const node_id a = t.add_sink(j, {50.0, 50.0}, 0.02, -10.0);
+  const node_id b = t.add_sink(j, {50.0, 50.0}, 0.02, -10.0);
+  EXPECT_NO_THROW(t.validate());
+  // Identical content -> identical subtree hashes; co-located sinks get
+  // zero-length Manhattan wires.
+  EXPECT_EQ(t.subtree_hash(a), t.subtree_hash(b));
+  EXPECT_DOUBLE_EQ(t.node(a).parent_wire_um, 0.0);
+  EXPECT_DOUBLE_EQ(t.node(b).parent_wire_um, 0.0);
+  // The shared hash still distinguishes the *parent* when one moves.
+  t.apply_edit(tree_edit::retarget_rat(b, -20.0));
+  EXPECT_NE(t.subtree_hash(a), t.subtree_hash(b));
+  EXPECT_EQ(t.subtree_hash(t.root()), full_recompute_root_hash(t));
+}
+
+}  // namespace
+}  // namespace vabi::tree

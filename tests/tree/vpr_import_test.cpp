@@ -1,0 +1,176 @@
+// VPR-flavoured netlist importer (tree/vpr_import.hpp): parsing, switch
+// lowering, dense renumbering, tree_io round-trips, and solver smoke over
+// the library-size extremes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/van_ginneken.hpp"
+#include "timing/buffer_library.hpp"
+#include "tree/tree_io.hpp"
+#include "tree/vpr_import.hpp"
+
+namespace vabi::tree {
+namespace {
+
+const char* k_sample =
+    "vpr-rc v1\n"
+    "# a 3-sink net with sparse, shuffled ids\n"
+    "wire 0.1 0.0002\n"
+    "root 40\n"
+    "node 40 100 100\n"
+    "node 7 200 100\n"
+    "node 12 300 50\n"
+    "node 9 300 150\n"
+    "node 31 250 200\n"
+    "edge 7 40 switch 200 5\n"
+    "edge 12 7 wire 150\n"
+    "edge 9 7 wire 75\n"
+    "edge 31 40 wire 180\n"
+    "sink 12 0.02 -100\n"
+    "sink 9 0.03 -120\n"
+    "sink 31 0.01 -90\n";
+
+TEST(VprImport, ParsesSampleAndRenumbersDensely) {
+  const auto t = import_vpr_rc_from_string(k_sample);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.num_nodes(), 5u);
+  EXPECT_EQ(t.num_sinks(), 3u);
+  EXPECT_EQ(t.node(t.root()).location, (layout::point{100.0, 100.0}));
+  // BFS from the root, original-id tie-break: 40 -> {7, 31} -> {9, 12}.
+  EXPECT_FALSE(t.node(1).is_sink());          // ex-7, the switch block
+  EXPECT_TRUE(t.node(2).is_sink());           // ex-31
+  EXPECT_DOUBLE_EQ(t.node(2).parent_wire_um, 180.0);
+  EXPECT_TRUE(t.node(3).is_sink());           // ex-9 (smaller id first)
+  EXPECT_DOUBLE_EQ(t.node(3).parent_wire_um, 75.0);
+  EXPECT_DOUBLE_EQ(t.node(3).sink_cap_pf, 0.03);
+  EXPECT_TRUE(t.node(4).is_sink());           // ex-12
+  EXPECT_DOUBLE_EQ(t.node(4).parent_wire_um, 150.0);
+  EXPECT_DOUBLE_EQ(t.node(4).sink_rat_ps, -100.0);
+}
+
+TEST(VprImport, SwitchLowersToEquivalentWireLength) {
+  const auto t = import_vpr_rc_from_string(k_sample);
+  // R/res_per_um + sqrt(2*Tdel/(res*cap)): 200/0.1 + sqrt(2*5/(0.1*0.0002)).
+  const double expected = 2000.0 + std::sqrt(10.0 / 0.00002);
+  EXPECT_DOUBLE_EQ(t.node(1).parent_wire_um, expected);
+}
+
+TEST(VprImport, ZeroTdelSwitchIsPureResistance) {
+  const auto t = import_vpr_rc_from_string(
+      "vpr-rc v1\n"
+      "wire 0.5 0.001\n"
+      "root 0\n"
+      "node 0 0 0\n"
+      "node 1 10 0\n"
+      "edge 1 0 switch 100 0\n"
+      "sink 1 0.02 0\n");
+  EXPECT_DOUBLE_EQ(t.node(1).parent_wire_um, 200.0);
+}
+
+TEST(VprImport, RoundTripsThroughTreeIoBitIdentically) {
+  const auto t = import_vpr_rc_from_string(k_sample);
+  const std::string s1 = write_tree_to_string(t);
+  const auto back = read_tree_from_string(s1);
+  const std::string s2 = write_tree_to_string(back);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(t.subtree_hash(t.root()), back.subtree_hash(back.root()));
+}
+
+TEST(VprImport, GeneratedNetImportsAndRoundTrips) {
+  vpr_net_options o;
+  o.num_sinks = 100;
+  o.fanout = 4;
+  o.seed = 9;
+  const std::string text = make_vpr_style_net_text(o);
+  const auto t = import_vpr_rc_from_string(text);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.num_sinks(), o.num_sinks);
+  EXPECT_GT(t.num_nodes(), o.num_sinks);  // switch blocks in between
+
+  const std::string s1 = write_tree_to_string(t);
+  const auto back = read_tree_from_string(s1);
+  EXPECT_EQ(s1, write_tree_to_string(back));
+  EXPECT_EQ(t.subtree_hash(t.root()), back.subtree_hash(back.root()));
+
+  // Determinism in the seed.
+  EXPECT_EQ(text, make_vpr_style_net_text(o));
+  vpr_net_options o2 = o;
+  o2.seed = 10;
+  EXPECT_NE(text, make_vpr_style_net_text(o2));
+}
+
+TEST(VprImport, SingleSinkNet) {
+  vpr_net_options o;
+  o.num_sinks = 1;
+  const auto t = make_vpr_style_net(o);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.num_sinks(), 1u);
+}
+
+TEST(VprImport, MalformedDocumentsThrow) {
+  // Missing header.
+  EXPECT_THROW(import_vpr_rc_from_string("wire 0.1 0.0002\n"),
+               std::runtime_error);
+  // Missing root.
+  EXPECT_THROW(import_vpr_rc_from_string("vpr-rc v1\nnode 0 0 0\n"),
+               std::runtime_error);
+  // Two parents for one node.
+  EXPECT_THROW(import_vpr_rc_from_string("vpr-rc v1\n"
+                                         "root 0\n"
+                                         "node 0 0 0\nnode 1 1 1\nnode 2 2 2\n"
+                                         "edge 2 0 wire 1\nedge 2 1 wire 1\n"
+                                         "sink 2 0.1 0\n"),
+               std::runtime_error);
+  // Unknown directive.
+  EXPECT_THROW(import_vpr_rc_from_string("vpr-rc v1\nfoo 1 2\n"),
+               std::runtime_error);
+  // Switch edge without a wire model to lower it against.
+  EXPECT_THROW(import_vpr_rc_from_string("vpr-rc v1\n"
+                                         "root 0\n"
+                                         "node 0 0 0\nnode 1 1 1\n"
+                                         "edge 1 0 switch 100 5\n"
+                                         "sink 1 0.1 0\n"),
+               std::runtime_error);
+  // Cycle disconnected from the root.
+  EXPECT_THROW(import_vpr_rc_from_string("vpr-rc v1\n"
+                                         "root 0\n"
+                                         "node 0 0 0\nnode 1 1 1\nnode 2 2 2\n"
+                                         "node 3 3 3\n"
+                                         "edge 1 0 wire 1\n"
+                                         "edge 2 3 wire 1\nedge 3 2 wire 1\n"
+                                         "sink 1 0.1 0\n"),
+               std::runtime_error);
+  // Undeclared node referenced by an edge.
+  EXPECT_THROW(import_vpr_rc_from_string("vpr-rc v1\n"
+                                         "root 0\n"
+                                         "node 0 0 0\nnode 1 1 1\n"
+                                         "edge 1 99 wire 1\n"
+                                         "sink 1 0.1 0\n"),
+               std::runtime_error);
+}
+
+class VprLibraryEdgeCases : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VprLibraryEdgeCases, ImportedNetSolvesAcrossLibrarySizes) {
+  vpr_net_options o;
+  o.num_sinks = 24;
+  o.seed = 21;
+  const auto t = make_vpr_style_net(o);
+
+  core::det_options d;
+  d.wire = {o.wire_res_per_um, o.wire_cap_per_um};
+  d.library = timing::make_parameterized_library(GetParam());
+  ASSERT_EQ(d.library.size(), GetParam());
+  const auto r = core::solve_van_ginneken(t, d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::isfinite(r.value().root_rat_ps));
+}
+
+INSTANTIATE_TEST_SUITE_P(LibSizes, VprLibraryEdgeCases,
+                         ::testing::Values(std::size_t{1}, std::size_t{256}));
+
+}  // namespace
+}  // namespace vabi::tree
