@@ -126,6 +126,10 @@ int exit_code_for(core::solve_code code) {
 
 constexpr int exit_audit_mismatch = 13;
 constexpr int exit_interrupted_resumable = 20;
+/// Every net solved, but the journal could not be (fully) written: results
+/// are correct and printed, crash recovery just is not guaranteed. Non-fatal
+/// but distinct, so scripts that rely on --resume notice.
+constexpr int exit_journal_warning = 21;
 
 [[noreturn]] void usage(const char* msg) {
   if (msg != nullptr) std::cerr << "vabi_cli: " << msg << "\n";
@@ -373,6 +377,7 @@ int run_batch(const cli_options& cli,
 
   std::vector<core::solve_outcome<core::batch_result>> slots;
   std::size_t restored = 0;
+  bool journal_warned = false;
   if (!cli.journal_path.empty()) {
     core::batch_journal_options jopts;
     jopts.path = cli.journal_path;
@@ -386,6 +391,7 @@ int run_batch(const cli_options& cli,
     }
     if (!outcome->journal_warning.empty()) {
       std::cerr << "vabi_cli: warning: " << outcome->journal_warning << "\n";
+      journal_warned = true;
     }
     restored = outcome->restored;
     std::cout << "journal " << cli.journal_path << ": " << outcome->restored
@@ -459,6 +465,7 @@ int run_batch(const cli_options& cli,
   }
   if (first_error.has_value()) return exit_code_for(*first_error);
   if (cancelled > 0) return exit_code_for(core::solve_code::cancelled);
+  if (journal_warned) return exit_journal_warning;
   return 0;
 }
 

@@ -1,0 +1,169 @@
+// vabi_client: command-line client of the vabi_serve daemon. Submits a batch
+// of generated nets, streams per-net results as the server solves them, and
+// survives a server restart mid-stream: the connection tears, the client
+// backs off (deterministic exponential backoff with jitter), reconnects with
+// its session token, and resumes -- journaled results are restored by the
+// server bit-identically and never re-solved.
+//
+//   vabi_client --unix /tmp/vabi.sock --generate 20 --batch 8 --seed 7
+//   vabi_client --tcp 45123 --token mysess --resume --generate 20 --batch 8
+//
+// Per-net output lines are stable and full-precision:
+//   net <i> ok nominal=<%.17g> buffers=<n> candidates=<c> [restored]
+//   net <i> error <code-name>: <detail>
+// which is what the CI smoke script diffs between an uninterrupted run and
+// an interrupted+resumed one.
+//
+// Exit codes: 0 batch complete, 1 usage, 2 connect/budget exhausted,
+// 3 overloaded, 4 draining, 5 session error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/solve_status.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vabi_client [options]\n"
+      "  --unix PATH           connect to a unix-domain socket\n"
+      "  --tcp PORT            connect to 127.0.0.1:PORT\n"
+      "  --token T             session token (server-assigned when absent)\n"
+      "  --resume              restore journaled results for --token\n"
+      "  --generate N          sinks per generated net (default 16)\n"
+      "  --batch B             number of nets in the batch (default 4)\n"
+      "  --seed S              batch seed (default 1)\n"
+      "  --priority P          session priority 0-255 (default 1)\n"
+      "  --deadline-ms D       session wall deadline (0 = none)\n"
+      "  --rule 2p|4p|corner   pruning rule (default 2p)\n"
+      "  --retries N           reconnect budget (default 5)\n"
+      "  --base-delay-ms MS    backoff base delay (default 50)\n"
+      "  --jitter-seed S       backoff jitter seed (default 1)\n"
+      "  --stats               fetch and print server stats JSON, then exit\n");
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vabi::serve::client_options copts;
+  vabi::serve::submit_msg submit;
+  std::size_t sinks = 16;
+  std::size_t batch = 4;
+  bool stats_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--unix") {
+      copts.unix_socket_path = value();
+    } else if (a == "--tcp") {
+      copts.tcp_port = std::atoi(value().c_str());
+    } else if (a == "--token") {
+      copts.token = value();
+    } else if (a == "--resume") {
+      copts.resume = true;
+    } else if (a == "--generate") {
+      sinks = static_cast<std::size_t>(std::atoi(value().c_str()));
+    } else if (a == "--batch") {
+      batch = static_cast<std::size_t>(std::atoi(value().c_str()));
+    } else if (a == "--seed") {
+      submit.batch_seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--priority") {
+      submit.priority = static_cast<std::uint8_t>(std::atoi(value().c_str()));
+    } else if (a == "--deadline-ms") {
+      submit.session_deadline_ms =
+          std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--rule") {
+      const std::string v = value();
+      if (v == "2p") {
+        submit.options.rule = 0;
+      } else if (v == "4p") {
+        submit.options.rule = 1;
+      } else if (v == "corner") {
+        submit.options.rule = 2;
+      } else {
+        usage();
+      }
+    } else if (a == "--retries") {
+      copts.retry.max_attempts =
+          static_cast<std::size_t>(std::atoi(value().c_str()));
+    } else if (a == "--base-delay-ms") {
+      copts.retry.base_delay_ms = std::atof(value().c_str());
+    } else if (a == "--jitter-seed") {
+      copts.retry.jitter_seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (a == "--stats") {
+      stats_only = true;
+    } else {
+      std::fprintf(stderr, "vabi_client: unknown option '%s'\n", a.c_str());
+      usage();
+    }
+  }
+  if (copts.unix_socket_path.empty() && copts.tcp_port <= 0) {
+    std::fprintf(stderr, "vabi_client: need --unix PATH or --tcp PORT\n");
+    usage();
+  }
+
+  vabi::serve::serve_client client(copts);
+  if (!client.connect()) {
+    std::fprintf(stderr, "vabi_client: %s\n", client.last_error().c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "vabi_client: session token %s\n",
+               client.token().c_str());
+
+  if (stats_only) {
+    const std::string json = client.fetch_stats();
+    if (json.empty()) {
+      std::fprintf(stderr, "vabi_client: %s\n", client.last_error().c_str());
+      return 5;
+    }
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+
+  for (std::size_t i = 0; i < batch; ++i) {
+    vabi::serve::wire_job j;
+    j.num_sinks = sinks;
+    submit.jobs.push_back(j);
+  }
+
+  const vabi::serve::batch_summary summary = client.run_batch(
+      submit, [](const vabi::serve::result_msg& r) {
+        const vabi::core::journal_record& rec = r.record;
+        if (rec.ok) {
+          std::printf("net %llu ok nominal=%.17g buffers=%zu candidates=%zu%s\n",
+                      static_cast<unsigned long long>(rec.job_index),
+                      rec.result.root_rat.nominal(), rec.result.num_buffers,
+                      rec.result.stats.candidates_created,
+                      r.resumed ? " restored" : "");
+        } else {
+          std::printf("net %llu error %s: %s\n",
+                      static_cast<unsigned long long>(rec.job_index),
+                      vabi::core::to_string(rec.code), rec.detail.c_str());
+        }
+        std::fflush(stdout);
+      });
+
+  if (summary.complete) {
+    std::fprintf(stderr,
+                 "vabi_client: batch done solved=%llu restored=%llu "
+                 "failed=%llu cancelled=%llu reconnects=%zu\n",
+                 static_cast<unsigned long long>(summary.solved),
+                 static_cast<unsigned long long>(summary.restored),
+                 static_cast<unsigned long long>(summary.failed),
+                 static_cast<unsigned long long>(summary.cancelled),
+                 summary.reconnects);
+    return 0;
+  }
+  std::fprintf(stderr, "vabi_client: %s\n", summary.error.c_str());
+  if (summary.overloaded) return 3;
+  if (summary.draining) return 4;
+  return 5;
+}

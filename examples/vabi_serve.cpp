@@ -1,0 +1,124 @@
+// vabi_serve: the solver daemon (src/serve/server.hpp) as a command-line
+// service. Listens on a unix socket and/or loopback TCP, serves concurrent
+// vabi_client sessions, and drains gracefully on SIGINT/SIGTERM: admission
+// stops (clients get a typed `draining` reply), in-flight nets finish,
+// session journals flush, then the process exits 0.
+//
+//   vabi_serve --unix /tmp/vabi.sock --journal-dir /tmp/vabi-journals
+//   vabi_serve --tcp 0 --threads 4            # ephemeral port, printed
+//
+// Exit codes: 0 clean shutdown, 1 usage error, 2 bind/listen failure.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int) { g_signal = 1; }
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vabi_serve [options]\n"
+      "  --unix PATH            unix-domain listener socket\n"
+      "  --tcp PORT             loopback TCP listener (0 = ephemeral)\n"
+      "  --threads N            solver pool width (default: auto)\n"
+      "  --max-sessions N       concurrent session cap (default 64)\n"
+      "  --max-queued-jobs N    admission bound on queued+running jobs\n"
+      "  --journal-dir DIR      per-session journals (enables resume)\n"
+      "  --checkpoint-every N   journal checkpoint cadence (default 8)\n"
+      "  --stall-timeout SEC    shed a stalled reader after SEC (default 10)\n"
+      "  --drain-timeout SEC    drain wait before cancelling (default 30)\n"
+      "  --stats-json PATH      dump final stats JSON on shutdown\n");
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vabi::serve::serve_options opts;
+  std::string stats_json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--unix") {
+      opts.unix_socket_path = value();
+    } else if (a == "--tcp") {
+      opts.tcp_port = std::atoi(value().c_str());
+    } else if (a == "--threads") {
+      opts.num_threads = static_cast<std::size_t>(std::atoi(value().c_str()));
+    } else if (a == "--max-sessions") {
+      opts.max_sessions = static_cast<std::size_t>(std::atoi(value().c_str()));
+    } else if (a == "--max-queued-jobs") {
+      opts.max_queued_jobs =
+          static_cast<std::size_t>(std::atoi(value().c_str()));
+    } else if (a == "--journal-dir") {
+      opts.journal_dir = value();
+    } else if (a == "--checkpoint-every") {
+      opts.checkpoint_every_jobs =
+          static_cast<std::size_t>(std::atoi(value().c_str()));
+    } else if (a == "--stall-timeout") {
+      opts.stall_timeout_seconds = std::atof(value().c_str());
+    } else if (a == "--drain-timeout") {
+      opts.drain_timeout_seconds = std::atof(value().c_str());
+    } else if (a == "--stats-json") {
+      stats_json_path = value();
+    } else {
+      std::fprintf(stderr, "vabi_serve: unknown option '%s'\n", a.c_str());
+      usage();
+    }
+  }
+  if (opts.unix_socket_path.empty() && opts.tcp_port < 0) {
+    std::fprintf(stderr, "vabi_serve: need --unix PATH and/or --tcp PORT\n");
+    usage();
+  }
+
+  vabi::serve::solver_daemon daemon(opts);
+  if (const std::string err = daemon.start(); !err.empty()) {
+    std::fprintf(stderr, "vabi_serve: %s\n", err.c_str());
+    return 2;
+  }
+  if (!opts.unix_socket_path.empty()) {
+    std::fprintf(stderr, "vabi_serve: listening on %s\n",
+                 opts.unix_socket_path.c_str());
+  }
+  if (opts.tcp_port >= 0) {
+    std::fprintf(stderr, "vabi_serve: listening on 127.0.0.1:%d\n",
+                 daemon.tcp_port());
+  }
+  std::fflush(stderr);
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "vabi_serve: draining (finishing in-flight jobs)\n");
+  daemon.stop();  // request_drain + bounded wait + journal flush
+
+  if (!stats_json_path.empty()) {
+    if (std::FILE* f = std::fopen(stats_json_path.c_str(), "w")) {
+      const std::string json = daemon.stats_json();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "vabi_serve: cannot write %s\n",
+                   stats_json_path.c_str());
+    }
+  }
+  std::fprintf(stderr, "vabi_serve: shutdown complete\n");
+  return 0;
+}

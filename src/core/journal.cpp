@@ -121,7 +121,7 @@ bool decode_header_payload(cursor& c, journal_header& h) {
   return c.done();
 }
 
-std::vector<std::uint8_t> encode_record_payload(const journal_record& r) {
+std::vector<std::uint8_t> record_payload_bytes(const journal_record& r) {
   std::vector<std::uint8_t> out;
   put_u8(out, k_kind_record);
   put_u64(out, r.job_index);
@@ -174,7 +174,7 @@ std::vector<std::uint8_t> encode_record_payload(const journal_record& r) {
   return out;
 }
 
-bool decode_record_payload(cursor& c, journal_record& r) {
+bool record_payload_decode(cursor& c, journal_record& r) {
   r.job_index = c.get_u64();
   r.fingerprint = c.get_u64();
   r.ok = c.get_u8() != 0;
@@ -369,7 +369,7 @@ solve_outcome<journal_contents> read_journal(const std::string& path) {
       seen.assign(out.header.num_jobs, false);
     } else {
       journal_record rec;
-      if (kind != k_kind_record || !decode_record_payload(c, rec)) {
+      if (kind != k_kind_record || !record_payload_decode(c, rec)) {
         // The CRC passed, so this is not line noise: reject loudly.
         return corrupt("undecodable record " + std::to_string(frame_index));
       }
@@ -394,7 +394,7 @@ namespace journal_detail {
 
 std::vector<std::uint8_t> encode_record_frame(const journal_record& record) {
   std::vector<std::uint8_t> frame;
-  append_frame(frame, encode_record_payload(record), /*allow_faults=*/false);
+  append_frame(frame, record_payload_bytes(record), /*allow_faults=*/false);
   return frame;
 }
 
@@ -402,6 +402,17 @@ std::vector<std::uint8_t> encode_header_frame(const journal_header& header) {
   std::vector<std::uint8_t> frame;
   append_frame(frame, encode_header_payload(header), /*allow_faults=*/false);
   return frame;
+}
+
+std::vector<std::uint8_t> encode_record_payload(const journal_record& record) {
+  return record_payload_bytes(record);
+}
+
+bool decode_record_payload(const std::uint8_t* data, std::size_t size,
+                           journal_record& out) {
+  cursor c{data, size};
+  if (c.get_u8() != k_kind_record) return false;
+  return record_payload_decode(c, out);
 }
 
 }  // namespace journal_detail
@@ -418,14 +429,14 @@ journal_writer::journal_writer(std::string path, const journal_header& header,
 }
 
 void journal_writer::restore(const journal_record& record) {
-  append_frame(image_, encode_record_payload(record), /*allow_faults=*/false);
+  append_frame(image_, record_payload_bytes(record), /*allow_faults=*/false);
   ++records_;
   records_at_checkpoint_ = records_;
   bytes_at_checkpoint_ = image_.size();
 }
 
 void journal_writer::append(const journal_record& record) {
-  append_frame(image_, encode_record_payload(record), /*allow_faults=*/true);
+  append_frame(image_, record_payload_bytes(record), /*allow_faults=*/true);
   ++records_;
   maybe_checkpoint();
 }

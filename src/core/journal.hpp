@@ -172,6 +172,17 @@ namespace journal_detail {
 /// corruption-corpus test can splice frames into crafted files.
 std::vector<std::uint8_t> encode_record_frame(const journal_record& record);
 std::vector<std::uint8_t> encode_header_frame(const journal_header& header);
+
+/// Bare record payload (no len/crc framing) and its inverse. The serve wire
+/// protocol (src/serve/wire.hpp) embeds journal records verbatim in its
+/// result messages: the journal codec is the one full-precision serialization
+/// of a solve outcome, so a streamed result and a journaled one are the same
+/// bytes -- which is what makes reconnect/resume bit-identical by
+/// construction. decode returns false on any truncation/garbage without
+/// reading out of bounds.
+std::vector<std::uint8_t> encode_record_payload(const journal_record& record);
+bool decode_record_payload(const std::uint8_t* data, std::size_t size,
+                           journal_record& out);
 }  // namespace journal_detail
 
 }  // namespace vabi::core

@@ -563,24 +563,16 @@ batch_solver::batch_solver(config cfg)
 
 std::size_t batch_solver::num_threads() const { return pool_.size(); }
 
-namespace {
-
-/// The net + model setup of one batch job, resolved on the worker thread.
-struct job_setup {
-  std::optional<tree::routing_tree> generated;
-  const tree::routing_tree* net = nullptr;
-  std::optional<layout::process_model> model;
-};
-
-/// Shared by both batch paths: resolves job i's net (generating from the
-/// derived per-job seed when asked) and builds its process model. Throws on
-/// an unusable job spec -- solve() forwards that, solve_outcomes captures it.
-job_setup prepare_job(const batch_job& job, std::size_t i,
-                      const std::optional<std::uint64_t>& batch_seed) {
+/// Shared by every batch path -- and by the serve daemon: resolves job i's
+/// net (generating from the derived per-job seed when asked) and builds its
+/// process model. Throws on an unusable job spec -- solve() forwards that,
+/// solve_outcomes captures it.
+prepared_job prepare_batch_job(const batch_job& job, std::size_t i,
+                               const std::optional<std::uint64_t>& batch_seed) {
   if (testing::should_fire(testing::fault_point::batch_job_throw, i)) {
     throw std::runtime_error("injected batch job failure");
   }
-  job_setup setup;
+  prepared_job setup;
   setup.net = job.tree;
   if (setup.net == nullptr) {
     if (!job.generate.has_value()) {
@@ -604,8 +596,6 @@ job_setup prepare_job(const batch_job& job, std::size_t i,
   return setup;
 }
 
-}  // namespace
-
 std::vector<batch_result> batch_solver::solve(
     const std::vector<batch_job>& jobs) {
   std::vector<std::optional<batch_result>> slots(jobs.size());
@@ -616,7 +606,7 @@ std::vector<batch_result> batch_solver::solve(
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     pool_.submit([&, i] {
       try {
-        job_setup setup = prepare_job(jobs[i], i, config_.batch_seed);
+        prepared_job setup = prepare_batch_job(jobs[i], i, config_.batch_seed);
         stat_result r =
             run_statistical_insertion(*setup.net, *setup.model,
                                       jobs[i].options);
@@ -654,7 +644,7 @@ std::vector<solve_outcome<batch_result>> batch_solver::solve_outcomes(
                                        tree::invalid_node,
                                        "cancelled before start"});
         } else {
-          job_setup setup = prepare_job(jobs[i], i, config_.batch_seed);
+          prepared_job setup = prepare_batch_job(jobs[i], i, config_.batch_seed);
           solve_outcome<batch_result> out = [&]() -> solve_outcome<batch_result> {
             auto solved = solve_statistical_insertion(
                 *setup.net, *setup.model, jobs[i].options, cancel);
@@ -917,7 +907,7 @@ solve_outcome<journaled_batch> batch_solver::solve_journaled(
       continue;
     }
     try {
-      job_setup setup = prepare_job(jobs[i], i, config_.batch_seed);
+      prepared_job setup = prepare_batch_job(jobs[i], i, config_.batch_seed);
       if (rec.result.assignment.num_nodes() != 0 &&
           rec.result.assignment.num_nodes() != setup.net->num_nodes()) {
         return mismatch("journal record for job " + std::to_string(i) +
@@ -968,7 +958,7 @@ solve_outcome<journaled_batch> batch_solver::solve_journaled(
                                        tree::invalid_node,
                                        "cancelled before start"});
         } else {
-          job_setup setup = prepare_job(jobs[i], i, config_.batch_seed);
+          prepared_job setup = prepare_batch_job(jobs[i], i, config_.batch_seed);
           solve_outcome<batch_result> o = [&]() -> solve_outcome<batch_result> {
             auto solved = solve_statistical_insertion(
                 *setup.net, *setup.model, jobs[i].options, cancel);
@@ -1026,7 +1016,7 @@ solve_outcome<journaled_batch> batch_solver::solve_journaled(
       pool_.submit([&, k] {
         const std::size_t i = restored_jobs[k];
         try {
-          job_setup setup = prepare_job(jobs[i], i, config_.batch_seed);
+          prepared_job setup = prepare_batch_job(jobs[i], i, config_.batch_seed);
           auto solved = solve_statistical_insertion(*setup.net, *setup.model,
                                                     jobs[i].options, nullptr);
           if (solved.ok()) {

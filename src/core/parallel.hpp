@@ -187,6 +187,23 @@ struct journaled_batch {
   std::string journal_warning;
 };
 
+/// The resolved net + process model of one batch job: the generated tree
+/// (when the job asked for generation), a pointer to the net to solve, and
+/// the process model built over the job's die (or the net's padded bounding
+/// box). This is *the* canonical job setup: batch_solver, the journal resume
+/// path and the serve daemon (src/serve) all go through it, which is what
+/// makes a remotely solved job bit-identical to a local one.
+struct prepared_job {
+  std::optional<tree::routing_tree> generated;
+  const tree::routing_tree* net = nullptr;
+  std::optional<layout::process_model> model;
+};
+
+/// Resolves job `index`'s net (generating from the derived per-job seed when
+/// asked) and builds its process model. Throws on an unusable job spec.
+prepared_job prepare_batch_job(const batch_job& job, std::size_t index,
+                               const std::optional<std::uint64_t>& batch_seed);
+
 /// The fingerprint of one job's solve-relevant inputs, as journaled with
 /// every record: stat_options, model config, die, and the net (tree bytes,
 /// or generator options with the effective derive_seed(batch_seed, index)

@@ -1,0 +1,286 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "stats/rng.hpp"
+#include "testing/fault_injection.hpp"
+
+namespace vabi::serve {
+
+std::vector<double> backoff_schedule(const retry_policy& policy) {
+  std::vector<double> delays;
+  if (policy.max_attempts <= 1) return delays;
+  delays.reserve(policy.max_attempts - 1);
+  double base = policy.base_delay_ms;
+  for (std::size_t k = 0; k + 1 < policy.max_attempts; ++k) {
+    const double capped = std::min(policy.max_delay_ms, base);
+    // Deterministic jitter in [0.5, 1.0): a SplitMix64 stream over the
+    // seed, never wall time, so the schedule is a pure function.
+    const std::uint64_t bits = stats::derive_seed(policy.jitter_seed, k);
+    const double unit =
+        static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+    delays.push_back(capped * (0.5 + 0.5 * unit));
+    base *= policy.multiplier;
+  }
+  return delays;
+}
+
+serve_client::serve_client(client_options opts)
+    : opts_(std::move(opts)),
+      schedule_(backoff_schedule(opts_.retry)),
+      token_(opts_.token) {}
+
+serve_client::~serve_client() { close(); }
+
+void serve_client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_ = frame_splitter{};
+}
+
+bool serve_client::connect_once() {
+  close();
+  int fd = -1;
+  if (!opts_.unix_socket_path.empty()) {
+    if (opts_.unix_socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      last_error_ = "unix socket path too long";
+      return false;
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last_error_ = "socket(AF_UNIX) failed";
+      return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      last_error_ = "cannot connect to " + opts_.unix_socket_path + ": " +
+                    std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+  } else if (opts_.tcp_port > 0) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last_error_ = "socket(AF_INET) failed";
+      return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.tcp_port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      last_error_ = "cannot connect to 127.0.0.1:" +
+                    std::to_string(opts_.tcp_port) + ": " +
+                    std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+  } else {
+    last_error_ = "no endpoint configured (unix_socket_path or tcp_port)";
+    return false;
+  }
+  fd_ = fd;
+  return handshake();
+}
+
+bool serve_client::handshake() {
+  hello_msg hello;
+  hello.token = token_;
+  hello.resume = opts_.resume;
+  if (!send_message(message{std::move(hello)})) return false;
+  message reply;
+  if (!read_message(reply)) return false;
+  if (auto* ack = std::get_if<hello_ack_msg>(&reply)) {
+    token_ = ack->token;
+    return true;
+  }
+  if (auto* err = std::get_if<session_error_msg>(&reply)) {
+    last_error_ = "handshake refused: " + err->detail;
+  } else if (auto* over = std::get_if<overloaded_msg>(&reply)) {
+    last_error_ = "server overloaded: " + over->detail;
+  } else {
+    last_error_ = "unexpected handshake reply";
+  }
+  close();
+  return false;
+}
+
+void serve_client::sleep_ms(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+bool serve_client::connect() {
+  // The retry budget spans the client's lifetime, not one connect() call: a
+  // flapping server cannot be hammered forever by alternating
+  // connect()/run_batch() reconnect loops.
+  while (attempts_used_ < opts_.retry.max_attempts) {
+    if (attempts_used_ > 0) sleep_ms(schedule_[attempts_used_ - 1]);
+    ++attempts_used_;
+    if (connect_once()) return true;
+  }
+  if (last_error_.empty()) last_error_ = "reconnect budget exhausted";
+  return false;
+}
+
+bool serve_client::send_message(const message& m) {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return false;
+  }
+  const std::vector<std::uint8_t> frame = encode_frame(m);
+  if (!wire_write_all(fd_, frame.data(), frame.size())) {
+    last_error_ = "write failed: connection lost";
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool serve_client::read_message(message& out) {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return false;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opts_.io_timeout_seconds));
+  for (;;) {
+    std::string err;
+    const decode_status st = in_.next(out, err);
+    if (st == decode_status::ok) return true;
+    if (st == decode_status::corrupt) {
+      last_error_ = err;
+      close();
+      return false;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      last_error_ = "timed out waiting for server frame";
+      close();
+      return false;
+    }
+    if (testing::should_fire(testing::fault_point::wire_stall_client,
+                             static_cast<std::uint64_t>(fd_))) {
+      // A deliberately slow reader: let the server's backpressure build.
+      sleep_ms(50.0);
+    }
+    pollfd p{fd_, POLLIN, 0};
+    const int timeout_ms = static_cast<int>(std::min<std::int64_t>(
+        1000,
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count()));
+    const int rv = ::poll(&p, 1, std::max(timeout_ms, 1));
+    if (rv < 0 && errno != EINTR) {
+      last_error_ = "poll failed";
+      close();
+      return false;
+    }
+    if (rv <= 0) continue;
+    std::uint8_t buf[65536];
+    const ssize_t n = wire_read(fd_, buf, sizeof buf);
+    if (n == 0) {
+      last_error_ = "server closed the connection";
+      close();
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      last_error_ = "read failed: connection lost";
+      close();
+      return false;
+    }
+    in_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+batch_summary serve_client::run_batch(
+    const submit_msg& submit,
+    const std::function<void(const result_msg&)>& on_result) {
+  batch_summary summary;
+  std::set<std::uint64_t> seen;  // job indices already delivered
+
+  bool first_attempt = true;
+  for (;;) {
+    if (!connected()) {
+      const bool fresh = first_attempt && !opts_.resume && token_.empty();
+      if (!fresh) opts_.resume = true;  // reconnects always resume
+      if (!connect()) {
+        summary.error = last_error_;
+        return summary;
+      }
+      if (!first_attempt) ++summary.reconnects;
+    }
+    first_attempt = false;
+    if (!send_message(message{submit})) {
+      continue;  // torn on send: reconnect (budget-bounded)
+    }
+    bool torn = false;
+    while (!torn) {
+      message m;
+      if (!read_message(m)) {
+        torn = true;
+        break;
+      }
+      if (auto* res = std::get_if<result_msg>(&m)) {
+        if (seen.insert(res->record.job_index).second && on_result) {
+          on_result(*res);
+        }
+      } else if (auto* done = std::get_if<batch_done_msg>(&m)) {
+        summary.complete = true;
+        summary.solved = done->solved;
+        summary.restored = done->restored;
+        summary.failed = done->failed;
+        summary.cancelled = done->cancelled;
+        return summary;
+      } else if (auto* over = std::get_if<overloaded_msg>(&m)) {
+        summary.overloaded = true;
+        summary.error = over->detail;
+        return summary;
+      } else if (auto* drain = std::get_if<draining_msg>(&m)) {
+        summary.draining = true;
+        summary.error = drain->detail;
+        return summary;
+      } else if (auto* err = std::get_if<session_error_msg>(&m)) {
+        summary.error = err->detail;
+        return summary;
+      }
+      // hello_ack / accepted / stats_reply: bookkeeping only.
+    }
+    // Torn mid-stream: loop back to reconnect + resume. The resubmitted
+    // batch is identical, so the server's fingerprint checks admit it and
+    // restore everything already journaled; `seen` filters re-deliveries.
+  }
+}
+
+std::string serve_client::fetch_stats() {
+  if (!connected() && !connect()) return "";
+  if (!send_message(message{stats_request_msg{}})) return "";
+  for (;;) {
+    message m;
+    if (!read_message(m)) return "";
+    if (auto* reply = std::get_if<stats_reply_msg>(&m)) {
+      return reply->json;
+    }
+    if (std::get_if<session_error_msg>(&m) != nullptr) return "";
+  }
+}
+
+}  // namespace vabi::serve

@@ -1,0 +1,117 @@
+// Client side of the vabi_serve wire protocol: connect/hello handshake,
+// batch submission with streamed per-net results, and the reconnect story --
+// exponential backoff with deterministic jitter and a bounded reconnect
+// budget, resuming a torn batch from the server's session journal with zero
+// completed jobs re-solved.
+//
+// Determinism: the backoff schedule is a pure function of retry_policy
+// (jitter comes from a SplitMix64 stream over jitter_seed, never from wall
+// time), so tests assert the exact delays (tests/serve/serve_client_test.cpp)
+// and CI runs are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace vabi::serve {
+
+/// Reconnect/backoff policy. Attempt k (0-based) sleeps
+/// delay(k) = min(max_delay_ms, base_delay_ms * multiplier^k) scaled by a
+/// deterministic jitter factor in [0.5, 1.0] drawn from jitter_seed.
+struct retry_policy {
+  std::size_t max_attempts = 5;  ///< total connect attempts (>= 1)
+  double base_delay_ms = 50.0;
+  double max_delay_ms = 2000.0;
+  double multiplier = 2.0;
+  std::uint64_t jitter_seed = 1;
+};
+
+/// The delays (ms) before attempts 1..max_attempts-1 (attempt 0 is
+/// immediate). Pure and deterministic; exposed for the backoff test.
+std::vector<double> backoff_schedule(const retry_policy& policy);
+
+struct client_options {
+  /// Unix socket path takes precedence; otherwise 127.0.0.1:tcp_port.
+  std::string unix_socket_path;
+  int tcp_port = -1;
+  retry_policy retry;
+  /// Session token ("" = server-assigned, readable via token() after the
+  /// handshake). Present the same token to resume after a crash.
+  std::string token;
+  /// Ask the server to restore journaled results on the first submit.
+  bool resume = false;
+  /// Poll timeout while waiting for a server frame.
+  double io_timeout_seconds = 60.0;
+};
+
+/// What run_batch ultimately reports.
+struct batch_summary {
+  bool complete = false;    ///< batch_done received
+  bool overloaded = false;  ///< admission-control rejection (typed)
+  bool draining = false;    ///< daemon refused: drain in progress
+  std::uint64_t solved = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::size_t reconnects = 0;  ///< mid-batch reconnects that succeeded
+  std::string error;           ///< "" unless the budget/session died
+};
+
+class serve_client {
+ public:
+  explicit serve_client(client_options opts);
+  ~serve_client();
+
+  serve_client(const serve_client&) = delete;
+  serve_client& operator=(const serve_client&) = delete;
+
+  /// Connect + hello with the full retry/backoff budget. False when the
+  /// budget is exhausted (see last_error()).
+  bool connect();
+  /// One connection attempt, no retries (tests exercise the budget).
+  bool connect_once();
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Submits `submit` and streams results until batch_done. `on_result`
+  /// fires once per job index, deduplicated across reconnects: when the
+  /// connection tears mid-stream, the client reconnects (backoff budget),
+  /// re-presents its token with resume, resubmits the identical batch, and
+  /// the server restores journaled results -- re-delivered results are
+  /// filtered here, so the callback sees each job exactly once.
+  batch_summary run_batch(const submit_msg& submit,
+                          const std::function<void(const result_msg&)>&
+                              on_result = nullptr);
+
+  /// In-band stats fetch ("" on failure; see last_error()).
+  std::string fetch_stats();
+
+  const std::string& token() const { return token_; }
+  const std::string& last_error() const { return last_error_; }
+  /// The raw socket, for tests that tear the connection mid-stream.
+  int fd() const { return fd_; }
+
+ private:
+  bool send_message(const message& m);
+  /// Blocks (bounded by io_timeout) for the next frame. False on timeout,
+  /// EOF, torn read, or corrupt frame.
+  bool read_message(message& out);
+  bool handshake();
+  void sleep_ms(double ms);
+
+  client_options opts_;
+  std::vector<double> schedule_;
+  std::size_t attempts_used_ = 0;
+  int fd_ = -1;
+  frame_splitter in_;
+  std::string token_;
+  std::string last_error_;
+};
+
+}  // namespace vabi::serve

@@ -1,0 +1,97 @@
+// In-service aggregating statistics for the vabi_serve daemon.
+//
+// The daemon records one observation per admitted job, per completed solve,
+// per shed session and per admission rejection; the store aggregates them
+// into global and per-session views -- counts, queue depth (current and
+// peak), and p50/p99 solve latency over a bounded reservoir -- and renders
+// the whole thing as one JSON document in the same style as the repo's other
+// --stats-json emitters (flat keys, machine-diffable, schema-tagged).
+//
+// Thread safety: every method takes the store's own mutex. The store is
+// deliberately independent of the daemon's session mutex so stats_json() can
+// be served while a solve completion is being recorded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vabi::serve {
+
+/// Latency reservoir: keeps the most recent k_capacity samples (ring) and
+/// reports percentiles over what it holds. Bounded memory for a daemon that
+/// serves forever.
+class latency_ring {
+ public:
+  static constexpr std::size_t k_capacity = 4096;
+
+  void add(double ms);
+  std::size_t count() const { return total_; }
+  /// Percentile by nearest-rank over a sorted copy of the ring; 0 when empty.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+  std::size_t next_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Per-session aggregates, keyed by session token.
+struct session_stats {
+  std::uint64_t jobs_admitted = 0;
+  std::uint64_t jobs_completed = 0;  ///< ok results
+  std::uint64_t jobs_failed = 0;     ///< typed non-ok results (incl cancelled)
+  std::uint64_t jobs_restored = 0;   ///< recovered from the session journal
+  // PR-7 incremental-session counters summed over the session's solves, so
+  // cache effectiveness is observable through the service.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t nodes_reused = 0;
+  latency_ring latency;
+};
+
+class stats_store {
+ public:
+  void on_session_opened(const std::string& token);
+  void on_session_closed(const std::string& token);
+  void on_session_shed(const std::string& token);
+  void on_resume(const std::string& token, std::uint64_t restored_jobs);
+  void on_overload_rejection();
+  void on_jobs_admitted(const std::string& token, std::uint64_t jobs);
+  /// One solve finished: latency + outcome + the PR-7 session counters.
+  void on_job_done(const std::string& token, bool ok, double latency_ms,
+                   std::uint64_t cache_hits, std::uint64_t cache_misses,
+                   std::uint64_t nodes_reused);
+  void set_queue_depth(std::size_t depth);
+
+  /// The whole store as JSON (schema "vabi_serve_stats v1"): global counters,
+  /// global p50/p99 latency, and one record per session sorted by token.
+  std::string to_json() const;
+
+  // Point reads for tests / logs.
+  std::uint64_t overload_rejections() const;
+  std::uint64_t sheds() const;
+  std::uint64_t resumes() const;
+  std::uint64_t jobs_completed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t sessions_opened_ = 0;
+  std::uint64_t sessions_active_ = 0;
+  std::uint64_t sessions_shed_ = 0;
+  std::uint64_t resumes_ = 0;
+  std::uint64_t overload_rejections_ = 0;
+  std::uint64_t jobs_admitted_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  std::uint64_t jobs_restored_ = 0;
+  std::size_t queue_depth_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  latency_ring global_latency_;
+  std::unordered_map<std::string, session_stats> sessions_;
+};
+
+}  // namespace vabi::serve

@@ -75,6 +75,18 @@ const char* to_string(fault_point point) {
       return "journal_crc_flip";
     case fault_point::crash_after_job:
       return "crash_after_job";
+    case fault_point::wire_short_read:
+      return "wire_short_read";
+    case fault_point::wire_short_write:
+      return "wire_short_write";
+    case fault_point::wire_crc_flip:
+      return "wire_crc_flip";
+    case fault_point::wire_accept_fail:
+      return "wire_accept_fail";
+    case fault_point::wire_stall_client:
+      return "wire_stall_client";
+    case fault_point::wire_drop_session:
+      return "wire_drop_session";
     case fault_point::count_:
       break;
   }

@@ -46,6 +46,12 @@ enum class fault_point : std::uint8_t {
   journal_write_short,  ///< a journal checkpoint writes a truncated image
   journal_crc_flip,     ///< a journal record's payload is bit-flipped on write
   crash_after_job,      ///< the batch process _Exits right after a job commits
+  wire_short_read,      ///< a socket read returns a truncated byte count
+  wire_short_write,     ///< a socket write truncates, then reports the peer gone
+  wire_crc_flip,        ///< an outgoing wire frame's payload is bit-flipped
+  wire_accept_fail,     ///< the daemon's accept() fails transiently
+  wire_stall_client,    ///< the client library delays draining its socket
+  wire_drop_session,    ///< the daemon force-closes a session mid-batch
   count_             ///< sentinel, not a point
 };
 

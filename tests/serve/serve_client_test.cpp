@@ -1,0 +1,97 @@
+// Client-side reconnect policy: the backoff schedule must be a pure,
+// deterministic function of retry_policy (delays drawn from jitter_seed,
+// never wall time), exponentially shaped, capped, and jittered into
+// [0.5, 1.0] x the capped delay -- so a retry storm after a daemon restart
+// spreads out reproducibly and tests can assert exact timings.
+#include "serve/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace vabi::serve {
+namespace {
+
+TEST(BackoffSchedule, DeterministicForSamePolicy) {
+  retry_policy p;
+  p.max_attempts = 8;
+  p.jitter_seed = 12345;
+  const std::vector<double> a = backoff_schedule(p);
+  const std::vector<double> b = backoff_schedule(p);
+  ASSERT_EQ(a.size(), 7u);  // attempt 0 is immediate
+  EXPECT_EQ(a, b);
+}
+
+TEST(BackoffSchedule, DifferentSeedsDiffer) {
+  retry_policy p;
+  p.max_attempts = 8;
+  p.jitter_seed = 1;
+  retry_policy q = p;
+  q.jitter_seed = 2;
+  const std::vector<double> a = backoff_schedule(p);
+  const std::vector<double> b = backoff_schedule(q);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_NE(a, b);
+}
+
+TEST(BackoffSchedule, JitterBoundedByCappedExponential) {
+  retry_policy p;
+  p.max_attempts = 12;
+  p.base_delay_ms = 50.0;
+  p.max_delay_ms = 2000.0;
+  p.multiplier = 2.0;
+  p.jitter_seed = 777;
+  const std::vector<double> delays = backoff_schedule(p);
+  ASSERT_EQ(delays.size(), 11u);
+  for (std::size_t k = 0; k < delays.size(); ++k) {
+    const double capped =
+        std::min(p.max_delay_ms, p.base_delay_ms * std::pow(p.multiplier,
+                                                            double(k)));
+    EXPECT_GE(delays[k], 0.5 * capped) << "attempt " << k;
+    EXPECT_LE(delays[k], capped) << "attempt " << k;
+  }
+  // The cap must actually bite: 50 * 2^10 >> 2000.
+  EXPECT_LE(delays.back(), p.max_delay_ms);
+}
+
+TEST(BackoffSchedule, MonotoneInExpectationUntilCap) {
+  // Not strictly monotone (jitter), but the capped envelope doubles each
+  // attempt, so delay(k+2) must exceed delay(k)'s envelope floor until the
+  // cap: 0.5 * base * m^(k+2) > base * m^k for m = 2.
+  retry_policy p;
+  p.max_attempts = 6;
+  p.max_delay_ms = 1e9;  // cap out of the way
+  const std::vector<double> d = backoff_schedule(p);
+  ASSERT_EQ(d.size(), 5u);
+  for (std::size_t k = 0; k + 2 < d.size(); ++k) {
+    EXPECT_GT(d[k + 2], d[k]) << "attempt " << k;
+  }
+}
+
+TEST(BackoffSchedule, SizedByMaxAttempts) {
+  retry_policy p;
+  p.max_attempts = 1;
+  EXPECT_TRUE(backoff_schedule(p).empty());
+  p.max_attempts = 2;
+  EXPECT_EQ(backoff_schedule(p).size(), 1u);
+}
+
+TEST(ServeClient, ConnectFailsClosedWithoutServer) {
+  client_options opts;
+  opts.unix_socket_path = "/nonexistent/vabi-serve-test.sock";
+  opts.retry.max_attempts = 2;
+  opts.retry.base_delay_ms = 1.0;
+  opts.retry.max_delay_ms = 2.0;
+  serve_client client(opts);
+  EXPECT_FALSE(client.connect());
+  EXPECT_FALSE(client.connected());
+  EXPECT_FALSE(client.last_error().empty());
+  // The budget spans the client's lifetime: once exhausted, further calls
+  // fail immediately instead of sleeping again.
+  EXPECT_FALSE(client.connect());
+}
+
+}  // namespace
+}  // namespace vabi::serve
