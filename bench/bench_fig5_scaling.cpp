@@ -16,18 +16,50 @@
 // cold solve of the identical edited tree. The JSON records carry the cache
 // hit/miss/reuse counters and both root-RAT form hashes, so CI can assert
 // the bit-identity *and* the speedup, not just eyeball the table.
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/journal.hpp"
 #include "core/parallel.hpp"
 #include "core/slab_cache.hpp"
 #include "harness.hpp"
 #include "json_out.hpp"
+#include "shard/shard_coordinator.hpp"
 #include "tree/vpr_import.hpp"
+
+namespace {
+
+/// Order-sensitive hash over the first `count` outcomes: nominal-RAT bits +
+/// buffer count for ok slots, the code for failed ones. Same recipe as
+/// vabi_shard --verify, so the bench asserts the same merge identity.
+std::uint64_t hash_slots(
+    const std::vector<vabi::core::solve_outcome<vabi::core::batch_result>>&
+        slots,
+    std::size_t count) {
+  std::uint64_t h = vabi::core::fnv1a_seed;
+  for (std::size_t i = 0; i < count && i < slots.size(); ++i) {
+    const auto& slot = slots[i];
+    h = vabi::core::fnv1a_u64(slot.ok() ? 1 : 0, h);
+    if (slot.ok()) {
+      h = vabi::core::fnv1a_u64(
+          std::bit_cast<std::uint64_t>(slot->result.root_rat.nominal()), h);
+      h = vabi::core::fnv1a_u64(slot->result.num_buffers, h);
+    } else {
+      h = vabi::core::fnv1a_u64(static_cast<std::uint64_t>(slot.error().code),
+                                h);
+    }
+  }
+  return h;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vabi;
@@ -97,6 +129,48 @@ int main(int argc, char** argv) {
                                        layout::spatial_profile::heterogeneous);
   }
 
+  // -- Sharded multi-process batch: supervision cost + merge identity -------
+  // The coordinator forks its worker processes, so this runs while the
+  // process is still single-threaded -- before the batch_solver below brings
+  // up its pool. A prefix of the same batch (same batch_seed, hence identical
+  // per-job seeds) is solved across worker processes, each journaling its own
+  // shard; the merged slots must hash-equal the same prefix of the in-process
+  // solve below.
+  const std::size_t shard_nets =
+      std::min<std::size_t>(num_jobs, bench::full_mode() ? 32 : 16);
+  const std::size_t shard_workers =
+      std::max<std::size_t>(2, std::min<std::size_t>(threads, 8));
+  std::vector<core::batch_job> shard_jobs(jobs.begin(),
+                                          jobs.begin() + shard_nets);
+  shard::coordinator_report shard_report;
+  bool shard_ok = false;
+  double shard_seconds = 0.0;
+  std::string shard_error;
+  {
+    char shard_dir[] = "/tmp/bench_fig5_shards_XXXXXX";
+    if (::mkdtemp(shard_dir) != nullptr) {
+      shard::coordinator_options sopts;
+      sopts.num_workers = shard_workers;
+      sopts.journal_dir = shard_dir;
+      sopts.batch_seed = 7;  // the batch_solver's seed below
+      shard::shard_coordinator coord(sopts);
+      const auto ts0 = std::chrono::steady_clock::now();
+      auto sharded = coord.run(shard_jobs);
+      shard_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - ts0)
+              .count();
+      if (sharded.ok()) {
+        shard_ok = true;
+        shard_report = std::move(*sharded);
+      } else {
+        shard_error = sharded.error().message();
+      }
+      std::filesystem::remove_all(shard_dir);
+    } else {
+      shard_error = "mkdtemp failed";
+    }
+  }
+
   core::batch_solver::config solver_cfg;
   solver_cfg.num_threads = threads;
   solver_cfg.batch_seed = 7;
@@ -147,6 +221,59 @@ int main(int argc, char** argv) {
             << " failed)\n"
             << "(rerun with --threads N to compare wall-clock scaling)\n";
   const std::string json_path = bench::parse_json_path(argc, argv);
+
+  // Sharded vs in-process: the shards merged above must be bit-identical to
+  // the same prefix of the in-process batch (identical seed stream).
+  std::cout << "\n=== Sharded batch: " << shard_nets << " nets across "
+            << shard_workers << " worker processes ===\n";
+  if (shard_ok) {
+    const std::uint64_t merged_hash =
+        hash_slots(shard_report.merged.slots, shard_nets);
+    const std::uint64_t in_process_hash = hash_slots(outcomes, shard_nets);
+    const bool bit_identical = merged_hash == in_process_hash;
+    std::cout << "sharded: " << analysis::fmt(shard_seconds, 2) << " s, "
+              << analysis::fmt(
+                     static_cast<double>(shard_nets) /
+                         std::max(shard_seconds, 1e-9),
+                     1)
+              << " nets/s, merged from " << shard_report.merged.shards_read
+              << " shards"
+              << (bit_identical ? " (bit-identical to in-process)"
+                                : " (HASH MISMATCH vs in-process)")
+              << "\n";
+    status.begin()
+        .str("section", "shard")
+        .num("nets", static_cast<std::uint64_t>(shard_nets))
+        .num("workers", static_cast<std::uint64_t>(shard_workers))
+        .num("seconds", shard_seconds)
+        .num("shards_read",
+             static_cast<std::uint64_t>(shard_report.merged.shards_read))
+        .num("restarts_total",
+             static_cast<std::uint64_t>(shard_report.restarts_total))
+        .num("workers_retired",
+             static_cast<std::uint64_t>(shard_report.workers_retired))
+        .boolean("bit_identical", bit_identical);
+    for (std::size_t w = 0; w < shard_report.workers.size(); ++w) {
+      const shard::worker_stats& ws = shard_report.workers[w];
+      const double rate =
+          shard_seconds > 0.0
+              ? static_cast<double>(ws.jobs_completed) / shard_seconds
+              : 0.0;
+      std::cout << "  worker " << w << ": jobs=" << ws.jobs_completed << " ("
+                << analysis::fmt(rate, 1) << "/s) restarts=" << ws.restarts
+                << " shards=" << ws.shards_opened << "\n";
+      status.begin()
+          .str("section", "shard_worker")
+          .num("worker", static_cast<std::uint64_t>(w))
+          .num("jobs_completed", ws.jobs_completed)
+          .num("jobs_per_second", rate)
+          .num("restarts", ws.restarts)
+          .num("shards_opened", ws.shards_opened);
+    }
+  } else {
+    std::cout << "sharded section failed: " << shard_error << "\n";
+    status.begin().str("section", "shard").str("status", shard_error);
+  }
 
   // -- Journaled mode: durability overhead and recovery cost ----------------
   // Same batch, now journaled with per-8-jobs checkpoints (solve + fsync +

@@ -41,6 +41,7 @@ void usage() {
       "  --deadline-ms D       session wall deadline (0 = none)\n"
       "  --rule 2p|4p|corner   pruning rule (default 2p)\n"
       "  --retries N           reconnect budget (default 5)\n"
+      "  --overload-retries N  typed-overload resubmit budget (default 3)\n"
       "  --base-delay-ms MS    backoff base delay (default 50)\n"
       "  --jitter-seed S       backoff jitter seed (default 1)\n"
       "  --stats               fetch and print server stats JSON, then exit\n");
@@ -93,6 +94,9 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--retries") {
       copts.retry.max_attempts =
+          static_cast<std::size_t>(std::atoi(value().c_str()));
+    } else if (a == "--overload-retries") {
+      copts.retry.max_overload_retries =
           static_cast<std::size_t>(std::atoi(value().c_str()));
     } else if (a == "--base-delay-ms") {
       copts.retry.base_delay_ms = std::atof(value().c_str());

@@ -26,6 +26,7 @@ constexpr std::uint32_t k_max_frame = 1u << 30;
 
 constexpr std::uint8_t k_kind_header = 1;
 constexpr std::uint8_t k_kind_record = 2;
+constexpr std::uint8_t k_kind_shard = 3;
 
 // -- little-endian primitives (endian-independent encode/decode) -----------
 
@@ -118,6 +119,22 @@ bool decode_header_payload(cursor& c, journal_header& h) {
   h.batch_seed = c.get_u64();
   h.num_jobs = c.get_u64();
   h.jobs_fingerprint = c.get_u64();
+  return c.done();
+}
+
+std::vector<std::uint8_t> encode_shard_payload(const shard_info& s) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, k_kind_shard);
+  put_u32(out, s.shard_index);
+  put_u32(out, s.shard_count);
+  put_u64(out, s.parent_fingerprint);
+  return out;
+}
+
+bool decode_shard_payload(cursor& c, shard_info& s) {
+  s.shard_index = c.get_u32();
+  s.shard_count = c.get_u32();
+  s.parent_fingerprint = c.get_u64();
   return c.done();
 }
 
@@ -367,6 +384,14 @@ solve_outcome<journal_contents> read_journal(const std::string& path) {
       }
       out.has_header = true;
       seen.assign(out.header.num_jobs, false);
+    } else if (frame_index == 1 && kind == k_kind_shard) {
+      // Optional shard frame (sharded batches, src/shard). Only valid in
+      // slot 1; a shard frame anywhere else falls through to the record
+      // branch and is rejected as an undecodable record.
+      if (!decode_shard_payload(c, out.shard)) {
+        return corrupt("undecodable shard frame");
+      }
+      out.has_shard = true;
     } else {
       journal_record rec;
       if (kind != k_kind_record || !record_payload_decode(c, rec)) {
@@ -404,6 +429,12 @@ std::vector<std::uint8_t> encode_header_frame(const journal_header& header) {
   return frame;
 }
 
+std::vector<std::uint8_t> encode_shard_frame(const shard_info& shard) {
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, encode_shard_payload(shard), /*allow_faults=*/false);
+  return frame;
+}
+
 std::vector<std::uint8_t> encode_record_payload(const journal_record& record) {
   return record_payload_bytes(record);
 }
@@ -425,6 +456,18 @@ journal_writer::journal_writer(std::string path, const journal_header& header,
       checkpoint_every_bytes_(checkpoint_every_bytes) {
   image_.insert(image_.end(), k_magic, k_magic + k_magic_size);
   append_frame(image_, encode_header_payload(header), /*allow_faults=*/false);
+  bytes_at_checkpoint_ = image_.size();
+}
+
+journal_writer::journal_writer(std::string path, const journal_header& header,
+                               const shard_info& shard,
+                               std::size_t checkpoint_every_jobs,
+                               std::uint64_t checkpoint_every_bytes)
+    : journal_writer(std::move(path), header, checkpoint_every_jobs,
+                     checkpoint_every_bytes) {
+  has_shard_ = true;
+  shard_index_ = shard.shard_index;
+  append_frame(image_, encode_shard_payload(shard), /*allow_faults=*/false);
   bytes_at_checkpoint_ = image_.size();
 }
 
@@ -469,7 +512,12 @@ void journal_writer::flush() {
     return;
   }
   std::size_t to_write = image_.size();
-  if (testing::should_fire(testing::fault_point::journal_write_short)) {
+  // shard_write_short is queried with the shard's index so a test can tear
+  // one specific shard's checkpoints (spec clause `node=<shard_index>`).
+  if (testing::should_fire(testing::fault_point::journal_write_short) ||
+      (has_shard_ && testing::should_fire(
+                         testing::fault_point::shard_write_short,
+                         shard_index_))) {
     // Simulate a crash mid-write: persist a truncated image (and still
     // rename it into place, as if power died between rename and the next
     // checkpoint). The reader must recover everything up to the torn frame.

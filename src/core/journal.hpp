@@ -106,9 +106,28 @@ struct journal_record {
   stat_result result;
 };
 
+/// Shard identity for journals written as one slice of a sharded batch
+/// (src/shard). Stored as an optional frame directly after the header, so a
+/// shard journal is a strict superset of "vabi journal v1" -- every existing
+/// reader/corruption rule applies unchanged.
+struct shard_info {
+  std::uint32_t shard_index = 0;  ///< monotonic per coordinator run
+  /// Worker-slot count the coordinator was configured with when this shard
+  /// was opened. Restarted workers open *new* shards, so the number of shard
+  /// files can exceed shard_count; merge validates agreement across headers,
+  /// not an exact file census.
+  std::uint32_t shard_count = 0;
+  /// The parent batch's jobs fingerprint (journal_header::jobs_fingerprint of
+  /// the equivalent single-process run). A shard from a different batch fails
+  /// merge with solve_code::shard_mismatch.
+  std::uint64_t parent_fingerprint = 0;
+};
+
 struct journal_contents {
   journal_header header;
   bool has_header = false;  ///< false for a missing/empty/truncated-at-0 file
+  bool has_shard = false;   ///< true when a shard frame follows the header
+  shard_info shard;
   std::vector<journal_record> records;
   std::uint64_t dropped_tail_bytes = 0;  ///< torn tail discarded on open
   std::uint64_t duplicates_dropped = 0;  ///< repeated job_index frames ignored
@@ -136,6 +155,14 @@ class journal_writer {
                  std::size_t checkpoint_every_jobs = 16,
                  std::uint64_t checkpoint_every_bytes = 1u << 22);
 
+  /// Shard-journal writer: identical layout plus a shard frame directly
+  /// after the header. Shard checkpoints honor the `shard_write_short`
+  /// fault point (plain journals keep `journal_write_short`).
+  journal_writer(std::string path, const journal_header& header,
+                 const shard_info& shard,
+                 std::size_t checkpoint_every_jobs = 16,
+                 std::uint64_t checkpoint_every_bytes = 1u << 22);
+
   /// Re-appends a record recovered from a prior run. Never checkpoints on
   /// its own (resume would otherwise rewrite the file once per restored
   /// record before solving anything).
@@ -157,6 +184,8 @@ class journal_writer {
   void maybe_checkpoint();
 
   std::string path_;
+  bool has_shard_ = false;
+  std::uint32_t shard_index_ = 0;  ///< fault-selector id for shard_write_short
   std::vector<std::uint8_t> image_;  ///< magic + header frame + record frames
   std::size_t checkpoint_every_jobs_;
   std::uint64_t checkpoint_every_bytes_;
@@ -172,6 +201,7 @@ namespace journal_detail {
 /// corruption-corpus test can splice frames into crafted files.
 std::vector<std::uint8_t> encode_record_frame(const journal_record& record);
 std::vector<std::uint8_t> encode_header_frame(const journal_header& header);
+std::vector<std::uint8_t> encode_shard_frame(const shard_info& shard);
 
 /// Bare record payload (no len/crc framing) and its inverse. The serve wire
 /// protocol (src/serve/wire.hpp) embeds journal records verbatim in its

@@ -43,6 +43,7 @@ enum class solve_code : std::uint8_t {
   internal,           ///< unexpected exception escaping the engine
   journal_corrupt,    ///< a result journal failed CRC/framing mid-log
   journal_mismatch,   ///< a journal does not match the jobs being resumed
+  shard_mismatch,     ///< shard journals disagree/overlap/missing at merge
 };
 
 inline const char* to_string(solve_code code) {
@@ -69,6 +70,8 @@ inline const char* to_string(solve_code code) {
       return "journal_corrupt";
     case solve_code::journal_mismatch:
       return "journal_mismatch";
+    case solve_code::shard_mismatch:
+      return "shard_mismatch";
   }
   return "?";
 }

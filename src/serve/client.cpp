@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <thread>
 
@@ -251,6 +252,24 @@ batch_summary serve_client::run_batch(
         summary.cancelled = done->cancelled;
         return summary;
       } else if (auto* over = std::get_if<overloaded_msg>(&m)) {
+        // A typed overload is retryable on the *same* connection: the server
+        // keeps the session open after rejecting a submit, so after a
+        // backoff delay the identical batch is resubmitted -- against the
+        // overload budget, never the reconnect budget (the server is
+        // healthy, just full).
+        if (summary.overload_retries < opts_.retry.max_overload_retries) {
+          const std::size_t k = summary.overload_retries++;
+          const double capped = std::min(
+              opts_.retry.max_delay_ms,
+              opts_.retry.base_delay_ms * std::pow(opts_.retry.multiplier,
+                                                   static_cast<double>(k)));
+          const std::uint64_t bits =
+              stats::derive_seed(opts_.retry.jitter_seed, k);
+          const double unit =
+              static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+          sleep_ms(capped * (0.5 + 0.5 * unit));
+          break;  // not torn: fall out to the resubmit loop, still connected
+        }
         summary.overloaded = true;
         summary.error = over->detail;
         return summary;

@@ -30,6 +30,13 @@ struct retry_policy {
   double max_delay_ms = 2000.0;
   double multiplier = 2.0;
   std::uint64_t jitter_seed = 1;
+  /// Budget for retrying a typed `overloaded` reply. Admission-control
+  /// rejection is not a connection failure: the session stays open and the
+  /// server is healthy, just full, so these retries resubmit on the same
+  /// connection after delay(k) from the schedule above and do NOT consume
+  /// max_attempts (which bounds reconnects after real connection loss).
+  /// 0 = return overloaded immediately, the pre-v9 behavior.
+  std::size_t max_overload_retries = 3;
 };
 
 /// The delays (ms) before attempts 1..max_attempts-1 (attempt 0 is
@@ -60,6 +67,10 @@ struct batch_summary {
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
   std::size_t reconnects = 0;  ///< mid-batch reconnects that succeeded
+  /// Typed-overload resubmissions used (same-connection, backoff-delayed).
+  /// Counted separately from `reconnects`: an overloaded server is healthy,
+  /// a torn connection is not, and each draws on its own budget.
+  std::size_t overload_retries = 0;
   std::string error;           ///< "" unless the budget/session died
 };
 

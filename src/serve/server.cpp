@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/yield.hpp"
 #include "core/journal.hpp"
 #include "core/parallel.hpp"
 #include "serve/wire.hpp"
@@ -335,6 +336,7 @@ struct solver_daemon::impl {
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     std::uint64_t nodes_reused = 0;
+    double yield = -1.0;  // < 0: no yield figure (failed/cancelled jobs)
     try {
       if (b->cancel.stop_requested()) {
         rec.ok = false;
@@ -353,6 +355,11 @@ struct solver_daemon::impl {
           rec.num_sources = setup.model->space().size();
           rec.result = std::move(*solved);
           rec.result.root_rat.own_terms();
+          // Paper Section-5.3 yield convention, self-contained per job: the
+          // probability the root RAT clears its own mean relaxed by 10%.
+          yield = analysis::timing_yield(
+              rec.result.root_rat, setup.model->space(),
+              analysis::target_rat_from_mean(rec.result.root_rat.nominal()));
         } else {
           rec.ok = false;
           rec.code = solved.error().code;
@@ -388,7 +395,7 @@ struct solver_daemon::impl {
       ++b->failed;
     }
     stats.on_job_done(b->token, rec.ok, latency_ms, cache_hits, cache_misses,
-                      nodes_reused);
+                      nodes_reused, yield);
     deliver_result_locked(b, rec, false, cache_hits, cache_misses,
                           nodes_reused);
     if (--b->remaining == 0) finish_batch_locked(b);

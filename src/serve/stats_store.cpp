@@ -25,6 +25,15 @@ double latency_ring::percentile(double p) const {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+void yield_histogram::add(double yield) {
+  const double clamped = std::clamp(yield, 0.0, 1.0);
+  auto idx = static_cast<std::size_t>(clamped * static_cast<double>(k_buckets));
+  if (idx >= k_buckets) idx = k_buckets - 1;  // yield == 1.0
+  ++buckets_[idx];
+  ++count_;
+  sum_ += clamped;
+}
+
 void stats_store::on_session_opened(const std::string& token) {
   std::lock_guard lk(mu_);
   ++sessions_opened_;
@@ -68,7 +77,7 @@ void stats_store::on_jobs_admitted(const std::string& token,
 void stats_store::on_job_done(const std::string& token, bool ok,
                               double latency_ms, std::uint64_t cache_hits,
                               std::uint64_t cache_misses,
-                              std::uint64_t nodes_reused) {
+                              std::uint64_t nodes_reused, double yield) {
   std::lock_guard lk(mu_);
   session_stats& s = sessions_[token];
   if (ok) {
@@ -83,6 +92,10 @@ void stats_store::on_job_done(const std::string& token, bool ok,
   s.nodes_reused += nodes_reused;
   s.latency.add(latency_ms);
   global_latency_.add(latency_ms);
+  if (yield >= 0.0) {
+    s.yield.add(yield);
+    global_yield_.add(yield);
+  }
 }
 
 void stats_store::set_queue_depth(std::size_t depth) {
@@ -117,12 +130,29 @@ std::string fmt_ms(double v) {
   return buf;
 }
 
+std::string fmt_yield(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+std::string yield_json(const yield_histogram& h) {
+  std::string out = "{\"count\": " + std::to_string(h.count()) +
+                    ", \"mean\": " + fmt_yield(h.mean()) + ", \"buckets\": [";
+  for (std::size_t i = 0; i < yield_histogram::k_buckets; ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(h.buckets()[i]);
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 std::string stats_store::to_json() const {
   std::lock_guard lk(mu_);
   std::string out = "{\n";
-  out += "  \"schema\": \"vabi_serve_stats v1\",\n";
+  out += "  \"schema\": \"vabi_serve_stats v2\",\n";
   out += "  \"sessions_opened\": " + std::to_string(sessions_opened_) + ",\n";
   out += "  \"sessions_active\": " + std::to_string(sessions_active_) + ",\n";
   out += "  \"sessions_shed\": " + std::to_string(sessions_shed_) + ",\n";
@@ -140,6 +170,7 @@ std::string stats_store::to_json() const {
          std::to_string(global_latency_.count()) +
          ", \"p50\": " + fmt_ms(global_latency_.percentile(50.0)) +
          ", \"p99\": " + fmt_ms(global_latency_.percentile(99.0)) + "},\n";
+  out += "  \"yield\": " + yield_json(global_yield_) + ",\n";
   out += "  \"sessions\": [";
   std::vector<const std::pair<const std::string, session_stats>*> rows;
   rows.reserve(sessions_.size());
@@ -161,6 +192,7 @@ std::string stats_store::to_json() const {
     out += ", \"nodes_reused\": " + std::to_string(s.nodes_reused);
     out += ", \"p50_ms\": " + fmt_ms(s.latency.percentile(50.0));
     out += ", \"p99_ms\": " + fmt_ms(s.latency.percentile(99.0));
+    out += ", \"yield\": " + yield_json(s.yield);
     out += "}";
   }
   out += first ? "]\n" : "\n  ]\n";

@@ -12,6 +12,7 @@
 // be served while a solve completion is being recorded.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -39,6 +40,28 @@ class latency_ring {
   std::size_t total_ = 0;
 };
 
+/// Fixed-bucket histogram of per-job timing yield (schema v2 field). Twenty
+/// buckets of width 0.05 over [0, 1]; out-of-range samples clamp into the
+/// edge buckets. Bounded memory forever, like latency_ring.
+class yield_histogram {
+ public:
+  static constexpr std::size_t k_buckets = 20;
+
+  void add(double yield);
+  std::uint64_t count() const { return count_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  const std::array<std::uint64_t, k_buckets>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, k_buckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
 /// Per-session aggregates, keyed by session token.
 struct session_stats {
   std::uint64_t jobs_admitted = 0;
@@ -51,6 +74,7 @@ struct session_stats {
   std::uint64_t cache_misses = 0;
   std::uint64_t nodes_reused = 0;
   latency_ring latency;
+  yield_histogram yield;
 };
 
 class stats_store {
@@ -62,13 +86,18 @@ class stats_store {
   void on_overload_rejection();
   void on_jobs_admitted(const std::string& token, std::uint64_t jobs);
   /// One solve finished: latency + outcome + the PR-7 session counters.
+  /// `yield` is the job's timing yield in [0, 1] (histogrammed globally and
+  /// per session); pass a negative value when no yield applies (failed jobs).
   void on_job_done(const std::string& token, bool ok, double latency_ms,
                    std::uint64_t cache_hits, std::uint64_t cache_misses,
-                   std::uint64_t nodes_reused);
+                   std::uint64_t nodes_reused, double yield = -1.0);
   void set_queue_depth(std::size_t depth);
 
-  /// The whole store as JSON (schema "vabi_serve_stats v1"): global counters,
-  /// global p50/p99 latency, and one record per session sorted by token.
+  /// The whole store as JSON (schema "vabi_serve_stats v2"): global counters,
+  /// global p50/p99 latency, yield histograms, and one record per session
+  /// sorted by token. v2 is a backward-compatible superset of v1: every v1
+  /// field is still emitted with identical semantics; v2 adds the "yield"
+  /// objects (count, mean, 20 fixed buckets over [0, 1]).
   std::string to_json() const;
 
   // Point reads for tests / logs.
@@ -91,6 +120,7 @@ class stats_store {
   std::size_t queue_depth_ = 0;
   std::size_t peak_queue_depth_ = 0;
   latency_ring global_latency_;
+  yield_histogram global_yield_;
   std::unordered_map<std::string, session_stats> sessions_;
 };
 

@@ -63,7 +63,7 @@ enum class msg_kind : std::uint8_t {
   overloaded = 0x83,    ///< typed admission-control rejection
   result = 0x84,        ///< one per-net outcome, streamed as it completes
   batch_done = 0x85,    ///< the batch drained (counts + wall time)
-  stats_reply = 0x86,   ///< stats JSON (vabi_serve_stats v1 schema)
+  stats_reply = 0x86,   ///< stats JSON (vabi_serve_stats v2 schema)
   session_error = 0x87, ///< typed session failure (solve_code + detail)
   draining = 0x88,      ///< daemon is draining; submission refused
 };
@@ -170,7 +170,7 @@ struct batch_done_msg {
 };
 
 struct stats_reply_msg {
-  std::string json;  ///< vabi_serve_stats v1 (see serve/stats_store.hpp)
+  std::string json;  ///< vabi_serve_stats v2 (see serve/stats_store.hpp)
 };
 
 struct session_error_msg {

@@ -87,6 +87,14 @@ const char* to_string(fault_point point) {
       return "wire_stall_client";
     case fault_point::wire_drop_session:
       return "wire_drop_session";
+    case fault_point::worker_spawn_fail:
+      return "worker_spawn_fail";
+    case fault_point::worker_hang:
+      return "worker_hang";
+    case fault_point::shard_write_short:
+      return "shard_write_short";
+    case fault_point::heartbeat_drop:
+      return "heartbeat_drop";
     case fault_point::count_:
       break;
   }

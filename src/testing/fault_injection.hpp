@@ -52,6 +52,10 @@ enum class fault_point : std::uint8_t {
   wire_accept_fail,     ///< the daemon's accept() fails transiently
   wire_stall_client,    ///< the client library delays draining its socket
   wire_drop_session,    ///< the daemon force-closes a session mid-batch
+  worker_spawn_fail,    ///< the shard coordinator's worker fork fails
+  worker_hang,          ///< a shard worker wedges (stops heartbeating) forever
+  shard_write_short,    ///< a shard journal checkpoint writes a torn image
+  heartbeat_drop,       ///< a shard worker's heartbeats are silently dropped
   count_             ///< sentinel, not a point
 };
 

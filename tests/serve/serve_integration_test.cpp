@@ -263,12 +263,15 @@ TEST_F(ServeTest, OverloadIsTypedAndAdmittedSessionsComplete) {
   // Wait until A's jobs occupy the queue, then B's 2 jobs must be rejected
   // whole (nothing partially admitted).
   ASSERT_TRUE(poll_until([this] { return daemon_->queue_depth() >= 3; }));
-  serve_client b(client_opts("latecomer"));
+  client_options b_opts = client_opts("latecomer");
+  b_opts.retry.max_overload_retries = 0;  // report the rejection, don't wait
+  serve_client b(b_opts);
   ASSERT_TRUE(b.connect()) << b.last_error();
   const batch_summary b_summary =
       b.run_batch(make_submit(2, /*sinks=*/8, /*seed=*/4));
   EXPECT_TRUE(b_summary.overloaded);
   EXPECT_FALSE(b_summary.complete);
+  EXPECT_EQ(b_summary.overload_retries, 0u);
   EXPECT_NE(b_summary.error.find("queue full"), std::string::npos)
       << b_summary.error;
   EXPECT_GE(daemon_->stats().overload_rejections(), 1u);
@@ -276,6 +279,41 @@ TEST_F(ServeTest, OverloadIsTypedAndAdmittedSessionsComplete) {
   a_thread.join();
   ASSERT_TRUE(a_summary.complete) << a_summary.error;
   EXPECT_EQ(a_summary.solved, 4u);
+}
+
+TEST_F(ServeTest, OverloadRetriesWithBackoffUntilAdmitted) {
+  serve_options o = base_options();
+  o.num_threads = 1;
+  o.max_queued_jobs = 4;
+  start_daemon(o);
+
+  batch_summary a_summary;
+  std::thread a_thread([&] {
+    serve_client a(client_opts("bulk"));
+    ASSERT_TRUE(a.connect()) << a.last_error();
+    a_summary = a.run_batch(make_submit(4, /*sinks=*/120, /*seed=*/3));
+  });
+  ASSERT_TRUE(poll_until([this] { return daemon_->queue_depth() >= 3; }));
+
+  // B is rejected while A occupies the queue, but its overload budget keeps
+  // resubmitting on the same connection with backoff; once A drains, B is
+  // admitted and completes. Overload retries are counted separately from
+  // reconnects: the server was healthy the whole time.
+  client_options b_opts = client_opts("patient");
+  b_opts.retry.max_overload_retries = 200;
+  b_opts.retry.base_delay_ms = 5.0;
+  b_opts.retry.max_delay_ms = 25.0;
+  serve_client b(b_opts);
+  ASSERT_TRUE(b.connect()) << b.last_error();
+  const batch_summary b_summary =
+      b.run_batch(make_submit(2, /*sinks=*/8, /*seed=*/4));
+  a_thread.join();
+
+  ASSERT_TRUE(b_summary.complete) << b_summary.error;
+  EXPECT_FALSE(b_summary.overloaded);
+  EXPECT_GE(b_summary.overload_retries, 1u);
+  EXPECT_EQ(b_summary.reconnects, 0u);
+  EXPECT_EQ(b_summary.solved, 2u);
 }
 
 // --- session deadlines ------------------------------------------------------
@@ -386,13 +424,18 @@ TEST_F(ServeTest, StatsJsonCarriesSchemaAndSessionCounters) {
   const std::string in_band = client.fetch_stats();
   const std::string local = daemon_->stats_json();
   for (const std::string& json : {in_band, local}) {
-    EXPECT_NE(json.find("\"schema\": \"vabi_serve_stats v1\""),
+    EXPECT_NE(json.find("\"schema\": \"vabi_serve_stats v2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"counted\""), std::string::npos);
     EXPECT_NE(json.find("\"jobs_completed\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"solve_latency_ms\""), std::string::npos);
     EXPECT_NE(json.find("\"cache_hits\""), std::string::npos);
     EXPECT_NE(json.find("\"nodes_reused\""), std::string::npos);
+    // v2 adds per-session and global timing-yield histograms (a backward
+    // compatible field addition: v1 consumers ignore unknown keys).
+    EXPECT_NE(json.find("\"yield\": {\"count\": 3"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"buckets\": ["), std::string::npos);
   }
 }
 
