@@ -206,7 +206,14 @@ int main(int argc, char** argv) {
                static_cast<std::uint64_t>(slot->result.stats.terms_merged))
           .num("dominance_prefilter_hits",
                static_cast<std::uint64_t>(
-                   slot->result.stats.dominance_prefilter_hits));
+                   slot->result.stats.dominance_prefilter_hits))
+          .num("tiled_prunes",
+               static_cast<std::uint64_t>(slot->result.stats.tiled_prunes))
+          .num("tile_prefilter_hits",
+               static_cast<std::uint64_t>(
+                   slot->result.stats.tile_prefilter_hits))
+          .num("pairs_batched",
+               static_cast<std::uint64_t>(slot->result.stats.pairs_batched));
     } else {
       ++failed;
       status.str("detail", slot.error().detail);

@@ -19,6 +19,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -375,6 +376,142 @@ void BM_PruneFourParam(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_PruneFourParam)->Range(64, 1024)->Complexity();
+
+// ---------------------------------------------------------------------------
+// Dominance-sweep comparison: pairwise vs tiled engine.
+//
+// The BM_DominanceSweep* benchmarks prune identical candidate lists twice per
+// (k, sources) point: once forced onto the seed's per-pair sweep and once
+// onto the tiled engine (SoA candidate planes + batched one-vs-many moment
+// kernels; core/pruning.cpp). Candidates carry genuine per-source variation
+// terms and overlapping means, so the sweeps run the full mixture of
+// prefilter hits and exact sigma-of-difference fallbacks. Survivors are
+// bit-identical by contract (tests/core/tiled_prune_test.cpp proves it);
+// only the time and the organization counters differ.
+// ---------------------------------------------------------------------------
+
+/// RAII toggle of the prune-implementation switch (+1 tiled / -1 pairwise);
+/// restores the VABI_FORCE_PRUNE environment default on exit.
+struct prune_mode_guard {
+  explicit prune_mode_guard(bool tiled) {
+    core::set_force_prune(tiled ? 1 : -1);
+  }
+  ~prune_mode_guard() { core::reset_force_prune_from_env(); }
+};
+
+/// Candidates with overlapping means and per-source variation terms over a
+/// `sources`-wide space: the regime where p > 0.5 dominance is decided by
+/// second moments, not means alone.
+std::vector<core::stat_candidate> make_stat_candidates(std::size_t n,
+                                                       std::size_t sources,
+                                                       std::uint64_t seed) {
+  auto rng = stats::make_rng(seed);
+  std::uniform_real_distribution<double> load(0.10, 0.35);
+  std::uniform_real_distribution<double> rat(-1300.0, -1000.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> lcoeff(-0.02, 0.02);
+  std::uniform_real_distribution<double> rcoeff(-15.0, 15.0);
+  std::vector<core::stat_candidate> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::stat_candidate c;
+    c.load = stats::linear_form{load(rng)};
+    c.rat = stats::linear_form{rat(rng)};
+    for (std::size_t id = 0; id < sources; ++id) {
+      if (unit(rng) < 0.7) {
+        c.load.add_term(static_cast<stats::source_id>(id), lcoeff(rng));
+      }
+      if (unit(rng) < 0.7) {
+        c.rat.add_term(static_cast<stats::source_id>(id), rcoeff(rng));
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+/// Reports the tiled-engine organization counters accumulated across the
+/// timed loop (zero on the pairwise runs).
+void report_tiled_counters(benchmark::State& state, const core::dp_stats& s) {
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["tile_prefilter_hits_per_op"] = benchmark::Counter(
+      static_cast<double>(s.tile_prefilter_hits) / iters);
+  state.counters["pairs_batched_per_op"] =
+      benchmark::Counter(static_cast<double>(s.pairs_batched) / iters);
+}
+
+void BM_DominanceSweep2P(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto sources = static_cast<std::size_t>(state.range(1));
+  const bool tiled = state.range(2) != 0;
+  form_fixture fx(sources, 0, 0);
+  const auto base = make_stat_candidates(k, sources, 3);
+  core::two_param_rule rule;
+  rule.p_load = 0.9;
+  rule.p_rat = 0.9;
+  prune_mode_guard guard{tiled};
+  core::prune_scratch scratch;  // per-worker reuse, as in the engine
+  core::dp_stats s;
+  // Manual timing: the per-iteration deep copy of the candidate list is
+  // setup, not sweep -- timing it would put the same O(k * sources) floor
+  // under both modes and mask the sweep difference being measured.
+  for (auto _ : state) {
+    auto list = base;
+    const auto t0 = std::chrono::steady_clock::now();
+    core::prune_two_param(rule, list, fx.space, s, &scratch);
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    benchmark::DoNotOptimize(list);
+  }
+  report_tiled_counters(state, s);
+}
+
+void BM_DominanceSweep4P(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto sources = static_cast<std::size_t>(state.range(1));
+  const bool tiled = state.range(2) != 0;
+  form_fixture fx(sources, 0, 0);
+  // Dense-resident candidates: the regime the automatic 4P moment-fill
+  // policy targets (for sparse forms the lazy O(nnz) walk wins and the
+  // automatic policy keeps it; see prune_four_param).
+  stats::term_pool dense_pool;
+  std::vector<core::stat_candidate> base;
+  {
+    dense_mode_guard dense{true};
+    const stats::linear_form zero{0.0};
+    for (auto& c : make_stat_candidates(k, sources, 5)) {
+      core::stat_candidate d;
+      d.load = stats::pooled_add(c.load, zero, dense_pool);
+      d.rat = stats::pooled_add(c.rat, zero, dense_pool);
+      base.push_back(std::move(d));
+    }
+  }
+  prune_mode_guard guard{tiled};
+  core::prune_scratch scratch;
+  core::dp_stats s;
+  for (auto _ : state) {
+    auto list = base;
+    const auto t0 = std::chrono::steady_clock::now();
+    core::prune_four_param(core::four_param_rule{}, list, fx.space, s, 0,
+                           &scratch);
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    benchmark::DoNotOptimize(list);
+  }
+  report_tiled_counters(state, s);
+}
+
+void dominance_args(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"k", "sources", "tiled"});
+  for (const std::int64_t k : {32, 128, 512}) {
+    for (const std::int64_t sources : {8, 64, 256}) {
+      b->Args({k, sources, 0});
+      b->Args({k, sources, 1});
+    }
+  }
+}
+BENCHMARK(BM_DominanceSweep2P)->Apply(dominance_args)->UseManualTime();
+BENCHMARK(BM_DominanceSweep4P)->Apply(dominance_args)->UseManualTime();
 
 void BM_DetPrune(benchmark::State& state) {
   std::vector<core::det_candidate> base;

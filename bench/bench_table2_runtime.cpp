@@ -78,9 +78,15 @@ int main(int argc, char** argv) {
   caps.max_list_size = 200'000;
   caps.max_wall_seconds = bench::full_mode() ? 600.0 : (smoke ? 5.0 : 30.0);
 
-  // Jobs 2i / 2i+1 are net i under 4P / 2P.
+  // Jobs 3i / 3i+1 / 3i+2 are net i under 4P / 2P / 2P at 90% confidence
+  // with a three-width wire-sizing menu. The p90+sizing run exercises the
+  // confidence-rule regime where the tiled dominance engine engages (the
+  // mean rule is a total order and never tiles, and without sizing the 2P
+  // lists on these nets stay below the k >= 32 tiling threshold); its JSON
+  // record carries the tiled_* counters and its wall time is the end-to-end
+  // figure the perf gate tracks for that path.
   std::vector<core::batch_job> jobs;
-  jobs.reserve(2 * specs.size());
+  jobs.reserve(3 * specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     core::batch_job j;
     j.tree = &nets[i];
@@ -91,6 +97,11 @@ int main(int argc, char** argv) {
     jobs.push_back(j);
     j.options = bench::make_stat_options(cfg, core::pruning_kind::two_param);
     jobs.push_back(j);
+    j.options = bench::make_stat_options(cfg, core::pruning_kind::two_param);
+    j.options.two_param.p_load = 0.9;
+    j.options.two_param.p_rat = 0.9;
+    j.options.wire_width_multipliers = {0.7, 1.0, 1.4};
+    jobs.push_back(j);
   }
 
   core::batch_solver::config solver_cfg;
@@ -100,8 +111,9 @@ int main(int argc, char** argv) {
 
   bench::json_records json;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    const auto& r4 = results[2 * i].result;
-    const auto& r2 = results[2 * i + 1].result;
+    const auto& r4 = results[3 * i].result;
+    const auto& r2 = results[3 * i + 1].result;
+    const auto& r2p90 = results[3 * i + 2].result;
     const std::string t4 =
         r4.stats.aborted ? "-" : analysis::fmt(r4.stats.wall_seconds, 2);
     const std::string speedup =
@@ -119,10 +131,10 @@ int main(int argc, char** argv) {
                std::to_string(r2.stats.peak_list_size),
                std::to_string(r2.stats.allocations),
                std::to_string(r2.stats.peak_terms)});
-    for (const auto* r : {&r4, &r2}) {
+    for (const auto* r : {&r4, &r2, &r2p90}) {
       json.begin()
           .str("bench", specs[i].name)
-          .str("rule", r == &r4 ? "4P" : "2P")
+          .str("rule", r == &r4 ? "4P" : (r == &r2 ? "2P" : "2P_p90"))
           .boolean("aborted", r->stats.aborted)
           .num("seconds", r->stats.wall_seconds)
           .num("candidates",
@@ -138,6 +150,12 @@ int main(int argc, char** argv) {
                static_cast<std::uint64_t>(r->stats.terms_merged))
           .num("dominance_prefilter_hits",
                static_cast<std::uint64_t>(r->stats.dominance_prefilter_hits))
+          .num("tiled_prunes",
+               static_cast<std::uint64_t>(r->stats.tiled_prunes))
+          .num("tile_prefilter_hits",
+               static_cast<std::uint64_t>(r->stats.tile_prefilter_hits))
+          .num("pairs_batched",
+               static_cast<std::uint64_t>(r->stats.pairs_batched))
           .num("num_buffers", static_cast<std::uint64_t>(r->num_buffers));
     }
   }

@@ -295,6 +295,9 @@ bool write_stats_json(const std::string& path, const core::stat_result& r,
      << "  \"dominance_prefilter_hits\": "
      << r.stats.dominance_prefilter_hits << ",\n"
      << "  \"li_shi_nodes\": " << r.stats.li_shi_nodes << ",\n"
+     << "  \"tiled_prunes\": " << r.stats.tiled_prunes << ",\n"
+     << "  \"tile_prefilter_hits\": " << r.stats.tile_prefilter_hits << ",\n"
+     << "  \"pairs_batched\": " << r.stats.pairs_batched << ",\n"
      << "  \"cache_hits\": " << r.stats.cache_hits << ",\n"
      << "  \"cache_misses\": " << r.stats.cache_misses << ",\n"
      << "  \"nodes_reused\": " << r.stats.nodes_reused << ",\n"

@@ -72,6 +72,11 @@ class worker_arena {
   /// Rewound by end_node(); see linear_form's pooled operations.
   stats::term_pool& scratch() { return scratch_; }
 
+  /// Per-worker scratch for the tiled dominance engine (gathered candidate
+  /// planes + batch buffers). Like the term pool it is never shared across
+  /// threads and keeps its high-water storage across nodes and runs.
+  prune_scratch& pruning_scratch() { return prune_scratch_; }
+
   cand_list acquire() {
     if (free_lists_.empty()) return {};
     cand_list list = std::move(free_lists_.back());
@@ -165,6 +170,7 @@ class worker_arena {
  private:
   static constexpr std::size_t max_pooled = 64;
   stats::term_pool scratch_;
+  prune_scratch prune_scratch_;
   std::vector<cand_list> free_lists_;
   std::vector<stats::term_block> free_blocks_;
   std::vector<stats::term_block> retired_;
@@ -414,7 +420,8 @@ struct dp_worker {
   void prune(cand_list& list) {
     switch (options.rule) {
       case pruning_kind::two_param:
-        prune_two_param(options.two_param, list, space, dps);
+        prune_two_param(options.two_param, list, space, dps,
+                        &pool.pruning_scratch());
         break;
       case pruning_kind::four_param:
         // Bound the quadratic prune so resource caps can fire between nodes
@@ -422,7 +429,8 @@ struct dp_worker {
         prune_four_param(options.four_param, list, space, dps,
                          options.max_list_size == 0
                              ? 0
-                             : 50 * options.max_list_size);
+                             : 50 * options.max_list_size,
+                         &pool.pruning_scratch());
         break;
       case pruning_kind::corner:
         prune_corner(options.corner, list, space, dps);

@@ -416,6 +416,9 @@ struct parallel_run {
       total.cache_hits += st.dps.cache_hits;
       total.cache_misses += st.dps.cache_misses;
       total.nodes_reused += st.dps.nodes_reused;
+      total.tiled_prunes += st.dps.tiled_prunes;
+      total.tile_prefilter_hits += st.dps.tile_prefilter_hits;
+      total.pairs_batched += st.dps.pairs_batched;
       // Prefer the worker that tripped a *primary* cause over workers that
       // merely observed the broadcast abort (code cancelled, reason
       // "aborted by another worker").

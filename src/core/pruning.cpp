@@ -1,15 +1,55 @@
 #include "core/pruning.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <limits>
 
+#include "stats/kernels.hpp"
 #include "stats/linear_form.hpp"
 #include "stats/normal.hpp"
 
 namespace vabi::core {
 
 namespace {
+
+// -- Pairwise/tiled sweep policy --------------------------------------------
+
+constexpr int k_force_prune_unset = std::numeric_limits<int>::min();
+std::atomic<int> g_force_prune{k_force_prune_unset};
+
+// -1 always pairwise, +1 always tiled, 0 adaptive. First read consults
+// VABI_FORCE_PRUNE; set_force_prune overrides. Same lazy-env pattern as
+// stats::set_force_dense.
+int force_prune_state() {
+  int mode = g_force_prune.load(std::memory_order_relaxed);
+  if (mode == k_force_prune_unset) {
+    mode = 0;
+    if (const char* env = std::getenv("VABI_FORCE_PRUNE")) {
+      if (std::strcmp(env, "tiled") == 0) mode = 1;
+      if (std::strcmp(env, "pairwise") == 0) mode = -1;
+    }
+    g_force_prune.store(mode, std::memory_order_relaxed);
+  }
+  return mode;
+}
+
+/// Adaptive engagement thresholds (see DESIGN.md for the measurement). The
+/// gather costs O(k * sources) up front; it pays off once the batched moment
+/// fill replaces enough per-pair sparse reductions, which needs both a list
+/// long enough to amortize the pass and enough sources per form for the
+/// interleaved dense chains to beat the branchy sparse walks. Below either
+/// threshold the pairwise sweep's lazy evaluation wins.
+constexpr std::size_t k_tiled_min_list = 32;
+constexpr std::size_t k_tiled_min_sources = 16;
+
+prune_scratch& fallback_prune_scratch() {
+  static thread_local prune_scratch scratch;
+  return scratch;
+}
 
 /// Safety slack (in z-score units) for the interval prefilter below. The
 /// exact path evaluates Phi(mu_d / sigma_d) >= p with ~1e-15 accumulated
@@ -85,6 +125,22 @@ bool dominates_2p(const two_param_rule& rule, const stat_candidate& a,
 }
 
 }  // namespace
+
+void set_force_prune(int mode) {
+  g_force_prune.store(mode == 0 ? 0 : (mode > 0 ? 1 : -1),
+                      std::memory_order_relaxed);
+}
+
+void reset_force_prune_from_env() {
+  g_force_prune.store(k_force_prune_unset, std::memory_order_relaxed);
+}
+
+bool use_tiled_prune(std::size_t k, std::size_t sources) {
+  const int mode = force_prune_state();
+  if (mode > 0) return true;
+  if (mode < 0) return false;
+  return k >= k_tiled_min_list && sources >= k_tiled_min_sources;
+}
 
 // ---------------------------------------------------------------------------
 // Deterministic.
@@ -195,15 +251,279 @@ double sigma_diff_cache::get(const stats::linear_form& x,
   return sigma;
 }
 
+double sigma_diff_cache::get_stddev(const stats::linear_form& f,
+                                    const stats::variation_space& space) {
+  const void* pf = &f;
+  const auto it = stddev_.find(pf);
+  if (it != stddev_.end()) return it->second;
+  const double sigma = f.stddev(space);
+  stddev_.emplace(pf, sigma);
+  return sigma;
+}
+
 bool dominates(const two_param_rule& rule, const stat_candidate& a,
                const stat_candidate& b, const stats::variation_space& space,
                sigma_diff_cache& sigmas) {
   return dominates_2p(rule, a, b, space, &sigmas, nullptr);
 }
 
+namespace {
+
+/// Batch-fills the unset Var caches of `list` from gathered rows: one
+/// variance_rows pass over the missing entries, each row's chain bit-equal
+/// to the lazy form.variance(space) it replaces. `get_var` selects var_load /
+/// var_rat. Returns the number of rows batched.
+template <typename GetVar>
+std::size_t batch_fill_variances(std::vector<stat_candidate>& list,
+                                 const stats::candidate_plane& planes,
+                                 const stats::variation_space& space,
+                                 prune_scratch& scr, GetVar get_var) {
+  scr.rows.clear();
+  scr.row_index.clear();
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (get_var(list[i]) < 0.0) {
+      scr.rows.push_back(planes.row(i));
+      scr.row_index.push_back(i);
+    }
+  }
+  if (scr.rows.empty()) return 0;
+  scr.out.resize(scr.rows.size());
+  stats::kernels::active().variance_rows(scr.rows.data(), scr.rows.size(),
+                                         space.sigma2_data(), planes.extent(),
+                                         scr.out.data());
+  for (std::size_t j = 0; j < scr.rows.size(); ++j) {
+    get_var(list[scr.row_index[j]]) = scr.out[j];
+  }
+  return scr.rows.size();
+}
+
+/// The 4P moment fill: gathers ONLY the candidates whose Var cache is unset
+/// into `plane` and batch-fills them. Unlike the 2P sweep there is no
+/// downstream reuse of the gathered rows (the corner loop compares cached
+/// doubles), so the gather would have to pay for itself in the variance pass
+/// alone -- and measurement says it never does: the lazy walk is O(nnz) for
+/// sparse forms and already a single vectorized plane pass for dense ones,
+/// while the gather adds a full O(extent) copy per row (see the
+/// BM_DominanceSweep4P baseline). Automatic mode therefore always keeps the
+/// lazy walk; only forced tiled mode batches, which keeps the whole tiled 4P
+/// path alive under the differential suite and the VABI_FORCE_PRUNE=tiled CI
+/// lanes. Returns rows batched (0 = fall back to the lazy walk).
+template <typename GetForm, typename GetVar>
+std::size_t tiled_fill_4p_side(std::vector<stat_candidate>& list,
+                               stats::candidate_plane& plane,
+                               const stats::variation_space& space,
+                               prune_scratch& scr, bool forced,
+                               GetForm get_form, GetVar get_var) {
+  if (!forced) return 0;
+  scr.row_index.clear();
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (get_var(list[i]) < 0.0) scr.row_index.push_back(i);
+  }
+  if (scr.row_index.empty()) return 0;
+  plane.reset(space.size());
+  for (const std::size_t i : scr.row_index) plane.add_row(get_form(list[i]));
+  // Pointers only after the gather completes: add_row may grow the plane.
+  scr.rows.clear();
+  for (std::size_t j = 0; j < scr.row_index.size(); ++j) {
+    scr.rows.push_back(plane.row(j));
+  }
+  scr.out.resize(scr.rows.size());
+  stats::kernels::active().variance_rows(scr.rows.data(), scr.rows.size(),
+                                         space.sigma2_data(), plane.extent(),
+                                         scr.out.data());
+  for (std::size_t j = 0; j < scr.rows.size(); ++j) {
+    get_var(list[scr.row_index[j]]) = scr.out[j];
+  }
+  return scr.rows.size();
+}
+
+/// The tiled 2P sweep body (p > 0.5; `list` already mean-sorted). Produces
+/// exactly the pairwise sweep's surviving subsequence: per candidate the
+/// sweep-window verdict is the OR over the window of (load condition AND rat
+/// condition), each condition evaluated with the identical tie convention,
+/// the identical prefilter thresholds, and -- for undecided pairs -- a
+/// batched sigma-of-difference pass whose per-pair chain is bit-equal to the
+/// scalar sigma_of_difference (dominates_2p is pure, so the pairwise early
+/// exits change only which comparisons run, never the verdict).
+void sweep_two_param_tiled(const two_param_rule& rule,
+                           std::vector<stat_candidate>& list,
+                           const stats::variation_space& space,
+                           dp_stats& stats, prune_scratch& scr) {
+  const std::size_t n = list.size();
+  const std::size_t ext = space.size();
+  const double* s2 = space.sigma2_data();
+  const auto& kt = stats::kernels::active();
+  ++stats.tiled_prunes;
+
+  // Gather once per prune call: the planes copy every coefficient, so
+  // nothing after this point can dangle into the candidate forms.
+  scr.load_planes.reset(ext);
+  scr.rat_planes.reset(ext);
+  for (const auto& c : list) {
+    scr.load_planes.add_row(c.load);
+    scr.rat_planes.add_row(c.rat);
+  }
+  stats.pairs_batched += batch_fill_variances(
+      list, scr.load_planes, space, scr,
+      [](stat_candidate& c) -> double& { return c.var_load; });
+  stats.pairs_batched += batch_fill_variances(
+      list, scr.rat_planes, space, scr,
+      [](stat_candidate& c) -> double& { return c.var_rat; });
+
+  // z thresholds are resolved lazily, exactly when the pairwise path would
+  // first call normal_quantile (it throws for p == 1, and only ever runs for
+  // a non-identical pair).
+  bool z_load_ready = false;
+  bool z_rat_ready = false;
+  double z_load_hi = 0.0, z_load_lo = 0.0;
+  double z_rat_hi = 0.0, z_rat_lo = 0.0;
+
+  const std::size_t window = std::max<std::size_t>(1, rule.sweep_window);
+  std::vector<stat_candidate> kept;
+  kept.reserve(n);
+  scr.kept_rows.clear();
+
+  for (std::size_t r = 0; r < n; ++r) {
+    stat_candidate& c = list[r];
+    const std::size_t scan = std::min(window, kept.size());
+    // cond_ok[j]: 0 undecided/false, 1 = load condition holds for the pair
+    // (kept[kept.size() - 1 - j], c); later narrowed to the full verdict.
+    scr.cond_ok.assign(scan, 0);
+
+    // -- Load condition over the window tile: P(a.load < c.load) >= p_L.
+    scr.mu_d.clear();
+    scr.sigma_x.clear();
+    scr.sigma_y.clear();
+    scr.pair_idx.clear();
+    for (std::size_t j = 0; j < scan; ++j) {
+      const stat_candidate& a = kept[kept.size() - 1 - j];
+      if (a.load == c.load) {
+        scr.cond_ok[j] = 1;  // identical-form tie: condition holds
+        continue;
+      }
+      scr.mu_d.push_back(c.load.mean() - a.load.mean());
+      scr.sigma_x.push_back(a.load_stddev(space));
+      scr.sigma_y.push_back(c.load_stddev(space));
+      scr.pair_idx.push_back(j);
+    }
+    if (!scr.mu_d.empty()) {
+      if (!z_load_ready) {
+        const double z = stats::normal_quantile(rule.p_load);
+        z_load_hi = z + k_prefilter_slack;
+        z_load_lo = z - k_prefilter_slack;
+        z_load_ready = true;
+      }
+      const std::size_t m = scr.mu_d.size();
+      scr.verdict.resize(m);
+      kt.prefilter_row_tile(scr.mu_d.data(), scr.sigma_x.data(),
+                            scr.sigma_y.data(), m, z_load_hi, z_load_lo,
+                            scr.verdict.data());
+      stats.pairs_batched += m;
+      // Exact pass for the undecided pairs, batched over the tile.
+      scr.rows.clear();
+      scr.row_index.clear();  // batch position -> packed pair position
+      for (std::size_t b = 0; b < m; ++b) {
+        if (scr.verdict[b] != 2) {
+          ++stats.tile_prefilter_hits;
+          scr.cond_ok[scr.pair_idx[b]] = scr.verdict[b];
+        } else {
+          scr.rows.push_back(
+              scr.load_planes.row(scr.kept_rows[kept.size() - 1 -
+                                                scr.pair_idx[b]]));
+          scr.row_index.push_back(b);
+        }
+      }
+      if (!scr.rows.empty()) {
+        scr.out.resize(scr.rows.size());
+        kt.sigma_diff_sq_row_tile(scr.load_planes.row(r), scr.rows.data(),
+                                  scr.rows.size(), s2, ext, scr.out.data());
+        stats.pairs_batched += scr.rows.size();
+        for (std::size_t e = 0; e < scr.rows.size(); ++e) {
+          const std::size_t b = scr.row_index[e];
+          const double sigma = std::sqrt(std::max(scr.out[e], 0.0));
+          scr.cond_ok[scr.pair_idx[b]] =
+              stats::normal_exceedance(scr.mu_d[b], sigma, 0.0) >= rule.p_load
+                  ? 1
+                  : 0;
+        }
+      }
+    }
+
+    // -- RAT condition, only where the load condition held:
+    //    P(c.rat < a.rat) >= p_T.
+    bool pruned = false;
+    scr.mu_d.clear();
+    scr.sigma_x.clear();
+    scr.sigma_y.clear();
+    scr.pair_idx.clear();
+    for (std::size_t j = 0; j < scan && !pruned; ++j) {
+      if (scr.cond_ok[j] == 0) continue;
+      const stat_candidate& a = kept[kept.size() - 1 - j];
+      if (a.rat == c.rat) {
+        pruned = true;  // tie: both conditions hold
+        break;
+      }
+      scr.mu_d.push_back(a.rat.mean() - c.rat.mean());
+      scr.sigma_x.push_back(c.rat_stddev(space));
+      scr.sigma_y.push_back(a.rat_stddev(space));
+      scr.pair_idx.push_back(j);
+    }
+    if (!pruned && !scr.mu_d.empty()) {
+      if (!z_rat_ready) {
+        const double z = stats::normal_quantile(rule.p_rat);
+        z_rat_hi = z + k_prefilter_slack;
+        z_rat_lo = z - k_prefilter_slack;
+        z_rat_ready = true;
+      }
+      const std::size_t m = scr.mu_d.size();
+      scr.verdict.resize(m);
+      kt.prefilter_row_tile(scr.mu_d.data(), scr.sigma_x.data(),
+                            scr.sigma_y.data(), m, z_rat_hi, z_rat_lo,
+                            scr.verdict.data());
+      stats.pairs_batched += m;
+      scr.rows.clear();
+      scr.row_index.clear();
+      for (std::size_t b = 0; b < m; ++b) {
+        if (scr.verdict[b] != 2) {
+          ++stats.tile_prefilter_hits;
+          if (scr.verdict[b] == 1) pruned = true;
+        } else {
+          scr.rows.push_back(
+              scr.rat_planes.row(scr.kept_rows[kept.size() - 1 -
+                                               scr.pair_idx[b]]));
+          scr.row_index.push_back(b);
+        }
+      }
+      if (!pruned && !scr.rows.empty()) {
+        scr.out.resize(scr.rows.size());
+        kt.sigma_diff_sq_row_tile(scr.rat_planes.row(r), scr.rows.data(),
+                                  scr.rows.size(), s2, ext, scr.out.data());
+        stats.pairs_batched += scr.rows.size();
+        for (std::size_t e = 0; e < scr.rows.size() && !pruned; ++e) {
+          const std::size_t b = scr.row_index[e];
+          const double sigma = std::sqrt(std::max(scr.out[e], 0.0));
+          pruned =
+              stats::normal_exceedance(scr.mu_d[b], sigma, 0.0) >= rule.p_rat;
+        }
+      }
+    }
+
+    if (pruned) {
+      ++stats.candidates_pruned;
+      continue;
+    }
+    scr.kept_rows.push_back(r);
+    kept.push_back(std::move(c));
+  }
+  list = std::move(kept);
+}
+
+}  // namespace
+
 void prune_two_param(const two_param_rule& rule,
                      std::vector<stat_candidate>& list,
-                     const stats::variation_space& space, dp_stats& stats) {
+                     const stats::variation_space& space, dp_stats& stats,
+                     prune_scratch* scratch) {
   if (list.size() <= 1) return;
   std::sort(list.begin(), list.end(),
             [](const stat_candidate& a, const stat_candidate& b) {
@@ -212,6 +532,15 @@ void prune_two_param(const two_param_rule& rule,
               }
               return a.rat.mean() > b.rat.mean();
             });
+  // The mean rule compares means only (no second moments anywhere), so there
+  // is nothing for the tiled engine to batch -- it stays on the direct sweep
+  // under every policy.
+  if (!rule.is_mean_rule() && use_tiled_prune(list.size(), space.size())) {
+    sweep_two_param_tiled(rule, list, space, stats,
+                          scratch != nullptr ? *scratch
+                                             : fallback_prune_scratch());
+    return;
+  }
   std::vector<stat_candidate> kept;
   kept.reserve(list.size());
   const std::size_t window = std::max<std::size_t>(1, rule.sweep_window);
@@ -319,13 +648,65 @@ bool dominates(const four_param_rule& rule, const stat_candidate& a,
   return a_lo > b_hi;
 }
 
+bool dominates(const four_param_rule& rule, const stat_candidate& a,
+               const stat_candidate& b, const stats::variation_space& space,
+               sigma_diff_cache& sigmas) {
+  // Same branch structure as the uncached overload; stats::percentile(f,
+  // space, p) is exactly normal_percentile(f.mean(), f.stddev(space), p), so
+  // reading the stddev through the memo changes no bits.
+  bool load_ok = false;
+  if (a.load == b.load) {
+    load_ok = true;
+  } else {
+    const double a_hi = stats::normal_percentile(
+        a.load.mean(), sigmas.get_stddev(a.load, space), rule.alpha_hi);
+    const double b_lo = stats::normal_percentile(
+        b.load.mean(), sigmas.get_stddev(b.load, space), rule.alpha_lo);
+    load_ok = a_hi < b_lo;
+  }
+  if (!load_ok) return false;
+
+  if (a.rat == b.rat) return true;
+  const double a_lo = stats::normal_percentile(
+      a.rat.mean(), sigmas.get_stddev(a.rat, space), rule.beta_lo);
+  const double b_hi = stats::normal_percentile(
+      b.rat.mean(), sigmas.get_stddev(b.rat, space), rule.beta_hi);
+  return a_lo > b_hi;
+}
+
 void prune_four_param(const four_param_rule& rule,
                       std::vector<stat_candidate>& list,
                       const stats::variation_space& space, dp_stats& stats,
-                      std::size_t max_comparisons) {
+                      std::size_t max_comparisons, prune_scratch* scratch) {
   const std::size_t n = list.size();
   if (n <= 1) return;
   std::size_t comparisons = 0;
+  // Tiled moment fill: batch the missing Var caches through the one-vs-many
+  // variance kernel before the corner pass walks them lazily. The corner
+  // values (and therefore the kept set and its order-dependent tie behavior)
+  // are bit-identical either way -- only who computes the variances changes.
+  if (use_tiled_prune(n, space.size())) {
+    prune_scratch& scr =
+        scratch != nullptr ? *scratch : fallback_prune_scratch();
+    const bool forced = force_prune_state() > 0;
+    std::size_t batched = 0;
+    batched += tiled_fill_4p_side(
+        list, scr.load_planes, space, scr, forced,
+        [](stat_candidate& cand) -> const stats::linear_form& {
+          return cand.load;
+        },
+        [](stat_candidate& cand) -> double& { return cand.var_load; });
+    batched += tiled_fill_4p_side(
+        list, scr.rat_planes, space, scr, forced,
+        [](stat_candidate& cand) -> const stats::linear_form& {
+          return cand.rat;
+        },
+        [](stat_candidate& cand) -> double& { return cand.var_rat; });
+    if (batched != 0) {
+      ++stats.tiled_prunes;
+      stats.pairs_batched += batched;
+    }
+  }
   // Cache the percentile corners; the pairwise pass then costs O(n^2)
   // comparisons of doubles rather than O(n^2) sigma evaluations.
   struct corners {

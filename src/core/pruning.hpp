@@ -34,9 +34,67 @@
 #include <vector>
 
 #include "core/solution.hpp"
+#include "stats/candidate_plane.hpp"
 #include "stats/variation_space.hpp"
 
 namespace vabi::core {
+
+// ---------------------------------------------------------------------------
+// Sweep-implementation policy (pairwise vs tiled).
+// ---------------------------------------------------------------------------
+//
+// The statistical prunes have two implementations producing bit-identical
+// surviving lists:
+//
+//   - pairwise: the seed's per-pair sweep; every dominance test runs its own
+//     sparse/dense one-vs-one moment reductions on demand.
+//   - tiled: gathers the candidate list's forms once into SoA coefficient
+//     planes (stats/candidate_plane.hpp), batch-fills the Var(L)/Var(T)
+//     moment caches with the one-vs-many kernels, and answers each
+//     candidate-vs-sweep-window tile with a batched interval prefilter plus
+//     a batched sigma-of-difference pass for the undecided pairs.
+//
+// Selection is automatic (engage tiled when the list size and the source
+// count clear the measured thresholds below) and overridable with
+// VABI_FORCE_PRUNE=pairwise|tiled or set_force_prune(). The 2P mean rule
+// (p = 0.5) never tiles: it compares means only and touches no second
+// moments. Which implementation ran is an *organization* property -- like
+// VABI_FORCE_DENSE it can change counters (tile_prefilter_hits vs
+// dominance_prefilter_hits) but never the surviving set, its order, or any
+// form bit.
+
+/// -1 always pairwise, +1 always tiled, 0 adaptive (the thresholds decide).
+/// Overrides VABI_FORCE_PRUNE for tests/benches.
+void set_force_prune(int mode);
+
+/// Restores the lazy VABI_FORCE_PRUNE read (tests that set the env var).
+void reset_force_prune_from_env();
+
+/// True when a statistical prune over `k` candidates and `sources` variation
+/// sources resolves to the tiled sweep under the current policy.
+bool use_tiled_prune(std::size_t k, std::size_t sources);
+
+/// Per-worker scratch of the tiled dominance engine: the gathered candidate
+/// planes plus the batching arrays of the sweep. Re-gathered on every prune
+/// call (so sealed-slab adoption or any form relocation between prunes can
+/// never leave a stale plane behind); storage is retained across calls, so
+/// steady state allocates nothing. Owned by the DP workers (one per worker,
+/// never shared across threads); a null scratch argument falls back to a
+/// thread-local instance.
+struct prune_scratch {
+  stats::candidate_plane load_planes;
+  stats::candidate_plane rat_planes;
+  std::vector<const double*> rows;      ///< row-pointer batch for the kernels
+  std::vector<std::size_t> row_index;   ///< list index per batched row
+  std::vector<std::size_t> pair_idx;    ///< window position per batched pair
+  std::vector<double> out;              ///< batched reduction results
+  std::vector<double> mu_d;             ///< per-pair mean differences
+  std::vector<double> sigma_x;          ///< per-pair cached stddevs
+  std::vector<double> sigma_y;
+  std::vector<std::uint8_t> verdict;    ///< prefilter verdicts (1/0/2)
+  std::vector<std::uint8_t> cond_ok;    ///< per-pair condition results
+  std::vector<std::size_t> kept_rows;   ///< plane row of each kept candidate
+};
 
 // ---------------------------------------------------------------------------
 // Deterministic rule.
@@ -104,6 +162,12 @@ class sigma_diff_cache {
   double get(const stats::linear_form& x, const stats::linear_form& y,
              const stats::variation_space& space);
 
+  /// f.stddev(space), computed once per form (address-keyed like the pair
+  /// memo, same lifetime caveat). One entry serves both directions of every
+  /// pair the form appears in -- the 4P percentile projections read it.
+  double get_stddev(const stats::linear_form& f,
+                    const stats::variation_space& space);
+
  private:
   struct key {
     const void* lo;
@@ -114,6 +178,7 @@ class sigma_diff_cache {
     std::size_t operator()(const key& k) const;
   };
   std::unordered_map<key, double, key_hash> map_;
+  std::unordered_map<const void*, double> stddev_;
 };
 
 /// dominates() sharing one sigma memo across both directions of a pair (and
@@ -124,10 +189,14 @@ bool dominates(const two_param_rule& rule, const stat_candidate& a,
 
 /// Sorts by (mean load asc, mean rat desc) and sweeps once. Exact (keeps
 /// precisely the non-dominated set) when p_load == p_rat == 0.5; for larger
-/// parameters it is the paper's practical linear approximation.
+/// parameters it is the paper's practical linear approximation. For p > 0.5
+/// the sweep body is chosen by the pairwise/tiled policy above (same
+/// survivors either way); `scratch` hosts the tiled gather (null = a
+/// thread-local fallback).
 void prune_two_param(const two_param_rule& rule,
                      std::vector<stat_candidate>& list,
-                     const stats::variation_space& space, dp_stats& stats);
+                     const stats::variation_space& space, dp_stats& stats,
+                     prune_scratch* scratch = nullptr);
 
 /// prune_two_param for the *mean rule only*, on a list whose first
 /// `sorted_prefix` candidates are already pruned (strictly increasing mean
@@ -160,15 +229,33 @@ struct four_param_rule {
 bool dominates(const four_param_rule& rule, const stat_candidate& a,
                const stat_candidate& b, const stats::variation_space& space);
 
+/// dominates(four_param_rule) sharing one per-form stddev memo across both
+/// directions of a pair (and across pairs) within a sweep over a stable
+/// candidate list -- the 4P counterpart of the cached 2P overload. Bitwise
+/// identical to the uncached overload: the percentile corners expand to
+/// normal_percentile(mean, stddev, p) over the exact same (mean, stddev)
+/// pair stats::percentile computes.
+bool dominates(const four_param_rule& rule, const stat_candidate& a,
+               const stat_candidate& b, const stats::variation_space& space,
+               sigma_diff_cache& sigmas);
+
 /// Pairwise O(N^2) pruning -- the best one can do under a partial order.
 /// `max_comparisons` bounds the quadratic work (0 = unlimited): when the
 /// budget runs out the remaining candidates are kept unpruned (safe --
 /// pruning less never loses solutions) and `stats.aborted` is left untouched
-/// so the caller's resource caps decide the run's fate.
+/// so the caller's resource caps decide the run's fate. Under *forced* tiled
+/// mode the percentile-corner moment precompute batches the missing Var
+/// caches through the one-vs-many variance kernel; automatic mode keeps the
+/// lazy per-form walk, which measures faster at every shape (no downstream
+/// reuse of a 4P gather -- see BM_DominanceSweep4P and the rationale in
+/// pruning.cpp). The comparison loop itself is kept in list order -- the 4P
+/// partial order's tie behavior is order-dependent, so it is shared verbatim
+/// between both modes.
 void prune_four_param(const four_param_rule& rule,
                       std::vector<stat_candidate>& list,
                       const stats::variation_space& space, dp_stats& stats,
-                      std::size_t max_comparisons = 0);
+                      std::size_t max_comparisons = 0,
+                      prune_scratch* scratch = nullptr);
 
 // ---------------------------------------------------------------------------
 // Corner rule (1P).
@@ -205,6 +292,22 @@ bool is_mutually_non_dominated(const Rule& rule,
 /// 2P overload: the both-directions sweep evaluates every pair (i, j) and
 /// (j, i); a shared sigma memo deduplicates the symmetric covariance passes.
 inline bool is_mutually_non_dominated(const two_param_rule& rule,
+                                      const std::vector<stat_candidate>& list,
+                                      const stats::variation_space& space) {
+  sigma_diff_cache sigmas;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      if (i != j && dominates(rule, list[i], list[j], space, sigmas)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// 4P overload: the per-form stddev memo computes each candidate's
+/// percentile corners once instead of 2(n-1) times.
+inline bool is_mutually_non_dominated(const four_param_rule& rule,
                                       const std::vector<stat_candidate>& list,
                                       const stats::variation_space& space) {
   sigma_diff_cache sigmas;

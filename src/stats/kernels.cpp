@@ -141,11 +141,55 @@ std::size_t s_argmax_buffered_row(const double* rats, const double* loads,
   return bk;
 }
 
+// One-vs-many reference forms: per row, exactly the one-plane reduction
+// above (same single left-to-right chain).
+
+void s_variance_rows(const double* const* rows, std::size_t m,
+                     const double* s2, std::size_t n, double* out) {
+  for (std::size_t j = 0; j < m; ++j) out[j] = s_variance_plane(rows[j], s2, n);
+}
+
+void s_covariance_row_tile(const double* x, const double* const* rows,
+                           std::size_t m, const double* s2, std::size_t n,
+                           double* out) {
+  for (std::size_t j = 0; j < m; ++j) {
+    out[j] = s_covariance_planes(x, rows[j], s2, n);
+  }
+}
+
+void s_sigma_diff_sq_row_tile(const double* x, const double* const* rows,
+                              std::size_t m, const double* s2, std::size_t n,
+                              double* out) {
+  for (std::size_t j = 0; j < m; ++j) {
+    out[j] = s_sigma_diff_sq_planes(x, rows[j], s2, n);
+  }
+}
+
+// The exact branch ladder of prob_less_at_least (core/pruning.cpp): a NaN in
+// any operand fails every comparison and yields 2 (exact pass), like the
+// scalar prefilter's fall-through.
+void s_prefilter_row_tile(const double* mu_d, const double* sigma_x,
+                          const double* sigma_y, std::size_t m, double z_hi,
+                          double z_lo, std::uint8_t* verdict) {
+  for (std::size_t j = 0; j < m; ++j) {
+    if (mu_d[j] > z_hi * (sigma_x[j] + sigma_y[j])) {
+      verdict[j] = 1;
+    } else if (mu_d[j] < 0.0 ||
+               mu_d[j] < z_lo * std::abs(sigma_x[j] - sigma_y[j])) {
+      verdict[j] = 0;
+    } else {
+      verdict[j] = 2;
+    }
+  }
+}
+
 constexpr kernel_table k_scalar_table = {
     kernel_isa::scalar,     s_blend_planes,       s_scale_plane,
     s_max_abs_plane,        s_drop_small_plane,   s_variance_plane,
     s_moments2_planes,      s_covariance_planes,  s_sigma_diff_sq_planes,
     s_planes_equal,         s_popcount_mask,      s_argmax_buffered_row,
+    s_variance_rows,        s_covariance_row_tile,
+    s_sigma_diff_sq_row_tile,                     s_prefilter_row_tile,
 };
 
 // ---------------------------------------------------------------------------
@@ -259,6 +303,8 @@ const kernel_table k_sse2_table = {
     sse2_max_abs_plane,     sse2_drop_small_plane, s_variance_plane,
     s_moments2_planes,      s_covariance_planes,  s_sigma_diff_sq_planes,
     sse2_planes_equal,      s_popcount_mask,      s_argmax_buffered_row,
+    s_variance_rows,        s_covariance_row_tile,
+    s_sigma_diff_sq_row_tile,                     s_prefilter_row_tile,
 };
 
 __attribute__((target("avx2"))) void avx2_blend_planes(
@@ -504,12 +550,161 @@ __attribute__((target("avx2"))) std::size_t avx2_argmax_buffered_row(
   return bk;
 }
 
+// The one-vs-many reductions process four rows per pass: four independent
+// accumulator chains (one per row, each in seed id order -- nothing is
+// reassociated) hide the FP-add latency a single chain is bound by, and the
+// sigma^2 vector is loaded once per column block instead of once per row.
+// Leftover rows fall back to the one-plane kernels, whose chains are
+// identical.
+__attribute__((target("avx2"))) void avx2_variance_rows(
+    const double* const* rows, std::size_t m, const double* s2, std::size_t n,
+    double* out) {
+  std::size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    const double* r0 = rows[j];
+    const double* r1 = rows[j + 1];
+    const double* r2 = rows[j + 2];
+    const double* r3 = rows[j + 3];
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    alignas(32) double t0[4], t1[4], t2[4], t3[4];
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d vs2 = _mm256_loadu_pd(s2 + i);
+      const __m256d x0 = _mm256_loadu_pd(r0 + i);
+      const __m256d x1 = _mm256_loadu_pd(r1 + i);
+      const __m256d x2 = _mm256_loadu_pd(r2 + i);
+      const __m256d x3 = _mm256_loadu_pd(r3 + i);
+      _mm256_store_pd(t0, _mm256_mul_pd(_mm256_mul_pd(x0, x0), vs2));
+      _mm256_store_pd(t1, _mm256_mul_pd(_mm256_mul_pd(x1, x1), vs2));
+      _mm256_store_pd(t2, _mm256_mul_pd(_mm256_mul_pd(x2, x2), vs2));
+      _mm256_store_pd(t3, _mm256_mul_pd(_mm256_mul_pd(x3, x3), vs2));
+      for (int k = 0; k < 4; ++k) {
+        a0 += t0[k];
+        a1 += t1[k];
+        a2 += t2[k];
+        a3 += t3[k];
+      }
+    }
+    for (; i < n; ++i) {
+      a0 += r0[i] * r0[i] * s2[i];
+      a1 += r1[i] * r1[i] * s2[i];
+      a2 += r2[i] * r2[i] * s2[i];
+      a3 += r3[i] * r3[i] * s2[i];
+    }
+    out[j] = a0;
+    out[j + 1] = a1;
+    out[j + 2] = a2;
+    out[j + 3] = a3;
+  }
+  for (; j < m; ++j) out[j] = avx2_variance_plane(rows[j], s2, n);
+}
+
+__attribute__((target("avx2"))) void avx2_covariance_row_tile(
+    const double* x, const double* const* rows, std::size_t m,
+    const double* s2, std::size_t n, double* out) {
+  std::size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    const double* r0 = rows[j];
+    const double* r1 = rows[j + 1];
+    const double* r2 = rows[j + 2];
+    const double* r3 = rows[j + 3];
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    alignas(32) double t0[4], t1[4], t2[4], t3[4];
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d vx = _mm256_loadu_pd(x + i);
+      const __m256d vs2 = _mm256_loadu_pd(s2 + i);
+      // (x_i * r_i) * s2_i in the scalar association; hoisting x_i * s2_i
+      // would round differently.
+      _mm256_store_pd(
+          t0, _mm256_mul_pd(_mm256_mul_pd(vx, _mm256_loadu_pd(r0 + i)), vs2));
+      _mm256_store_pd(
+          t1, _mm256_mul_pd(_mm256_mul_pd(vx, _mm256_loadu_pd(r1 + i)), vs2));
+      _mm256_store_pd(
+          t2, _mm256_mul_pd(_mm256_mul_pd(vx, _mm256_loadu_pd(r2 + i)), vs2));
+      _mm256_store_pd(
+          t3, _mm256_mul_pd(_mm256_mul_pd(vx, _mm256_loadu_pd(r3 + i)), vs2));
+      for (int k = 0; k < 4; ++k) {
+        a0 += t0[k];
+        a1 += t1[k];
+        a2 += t2[k];
+        a3 += t3[k];
+      }
+    }
+    for (; i < n; ++i) {
+      a0 += x[i] * r0[i] * s2[i];
+      a1 += x[i] * r1[i] * s2[i];
+      a2 += x[i] * r2[i] * s2[i];
+      a3 += x[i] * r3[i] * s2[i];
+    }
+    out[j] = a0;
+    out[j + 1] = a1;
+    out[j + 2] = a2;
+    out[j + 3] = a3;
+  }
+  for (; j < m; ++j) out[j] = avx2_covariance_planes(x, rows[j], s2, n);
+}
+
+__attribute__((target("avx2"))) void avx2_sigma_diff_sq_row_tile(
+    const double* x, const double* const* rows, std::size_t m,
+    const double* s2, std::size_t n, double* out) {
+  std::size_t j = 0;
+  for (; j + 4 <= m; j += 4) {
+    const double* r0 = rows[j];
+    const double* r1 = rows[j + 1];
+    const double* r2 = rows[j + 2];
+    const double* r3 = rows[j + 3];
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    alignas(32) double t0[4], t1[4], t2[4], t3[4];
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d vx = _mm256_loadu_pd(x + i);
+      const __m256d vs2 = _mm256_loadu_pd(s2 + i);
+      const __m256d d0 = _mm256_sub_pd(vx, _mm256_loadu_pd(r0 + i));
+      const __m256d d1 = _mm256_sub_pd(vx, _mm256_loadu_pd(r1 + i));
+      const __m256d d2 = _mm256_sub_pd(vx, _mm256_loadu_pd(r2 + i));
+      const __m256d d3 = _mm256_sub_pd(vx, _mm256_loadu_pd(r3 + i));
+      _mm256_store_pd(t0, _mm256_mul_pd(_mm256_mul_pd(d0, d0), vs2));
+      _mm256_store_pd(t1, _mm256_mul_pd(_mm256_mul_pd(d1, d1), vs2));
+      _mm256_store_pd(t2, _mm256_mul_pd(_mm256_mul_pd(d2, d2), vs2));
+      _mm256_store_pd(t3, _mm256_mul_pd(_mm256_mul_pd(d3, d3), vs2));
+      for (int k = 0; k < 4; ++k) {
+        a0 += t0[k];
+        a1 += t1[k];
+        a2 += t2[k];
+        a3 += t3[k];
+      }
+    }
+    for (; i < n; ++i) {
+      const double e0 = x[i] - r0[i];
+      const double e1 = x[i] - r1[i];
+      const double e2 = x[i] - r2[i];
+      const double e3 = x[i] - r3[i];
+      a0 += e0 * e0 * s2[i];
+      a1 += e1 * e1 * s2[i];
+      a2 += e2 * e2 * s2[i];
+      a3 += e3 * e3 * s2[i];
+    }
+    out[j] = a0;
+    out[j + 1] = a1;
+    out[j + 2] = a2;
+    out[j + 3] = a3;
+  }
+  for (; j < m; ++j) out[j] = avx2_sigma_diff_sq_planes(x, rows[j], s2, n);
+}
+
 const kernel_table k_avx2_table = {
     kernel_isa::avx2,       avx2_blend_planes,    avx2_scale_plane,
     avx2_max_abs_plane,     avx2_drop_small_plane, avx2_variance_plane,
     avx2_moments2_planes,   avx2_covariance_planes,
     avx2_sigma_diff_sq_planes,
     avx2_planes_equal,      s_popcount_mask,      avx2_argmax_buffered_row,
+    avx2_variance_rows,     avx2_covariance_row_tile,
+    avx2_sigma_diff_sq_row_tile,
+    // The prefilter is branch logic over a handful of doubles (tile width =
+    // the sweep window); the scalar ladder is already optimal and keeps the
+    // verdict order trivially identical.
+    s_prefilter_row_tile,
 };
 
 #endif  // VABI_X86
@@ -583,6 +778,8 @@ const kernel_table k_neon_table = {
     neon_max_abs_plane,     s_drop_small_plane,   s_variance_plane,
     s_moments2_planes,      s_covariance_planes,  s_sigma_diff_sq_planes,
     s_planes_equal,         s_popcount_mask,      s_argmax_buffered_row,
+    s_variance_rows,        s_covariance_row_tile,
+    s_sigma_diff_sq_row_tile,                     s_prefilter_row_tile,
 };
 
 #endif  // VABI_NEON
@@ -734,6 +931,23 @@ void aligned_doubles::push_back(double v) {
     cap_ = cap;
   }
   data_[size_++] = v;
+}
+
+double* aligned_doubles::grow(std::size_t count) {
+  const std::size_t need = size_ + count;
+  if (need > cap_) {
+    std::size_t cap = cap_ == 0 ? 64 : cap_ * 2;
+    if (cap < need) cap = need;
+    double* p = static_cast<double*>(
+        ::operator new(cap * sizeof(double), std::align_val_t{64}));
+    if (size_ != 0) std::memcpy(p, data_, size_ * sizeof(double));
+    release();
+    data_ = p;
+    cap_ = cap;
+  }
+  double* out = data_ + size_;
+  size_ = need;
+  return out;
 }
 
 void aligned_doubles::release() {

@@ -139,6 +139,47 @@ struct kernel_table {
   /// scan (core/li_shi.hpp).
   std::size_t (*argmax_buffered_row)(const double* rats, const double* loads,
                                      double d, double R, std::size_t n);
+
+  // -- One-vs-many reductions over gathered candidate planes ----------------
+  //
+  // `rows` is an array of `m` row pointers, each a plane of `n` coefficients
+  // (see stats/candidate_plane.hpp). Every output out[j] is the exact value
+  // the corresponding one-plane reduction above produces for rows[j]: each
+  // row keeps its *own* single left-to-right add chain in id order, so no
+  // chain is ever reassociated. What the batched forms buy is inter-row
+  // instruction-level parallelism -- several independent chains in flight
+  // hide the FP-add latency that bounds one -- plus one streaming pass over
+  // the shared sigma^2 table per row group.
+
+  /// out[j] = variance_plane(rows[j], s2, n) for j in [0, m).
+  void (*variance_rows)(const double* const* rows, std::size_t m,
+                        const double* s2, std::size_t n, double* out);
+
+  /// out[j] = covariance_planes(x, rows[j], s2, n) for j in [0, m).
+  void (*covariance_row_tile)(const double* x, const double* const* rows,
+                              std::size_t m, const double* s2, std::size_t n,
+                              double* out);
+
+  /// out[j] = sigma_diff_sq_planes(x, rows[j], s2, n) for j in [0, m).
+  void (*sigma_diff_sq_row_tile)(const double* x, const double* const* rows,
+                                 std::size_t m, const double* s2,
+                                 std::size_t n, double* out);
+
+  /// Batched mean +- k*sigma interval prefilter of the 2P dominance sweep
+  /// (core/pruning.cpp, prob_less_at_least). For each pair j:
+  ///
+  ///   verdict[j] = 1 when mu_d[j] >  z_hi * (sigma_x[j] + sigma_y[j])
+  ///   verdict[j] = 0 when mu_d[j] <  0.0
+  ///                  or mu_d[j] <  z_lo * |sigma_x[j] - sigma_y[j]|
+  ///   verdict[j] = 2 otherwise (exact sigma-of-difference pass required)
+  ///
+  /// evaluated in exactly that branch order with the exact scalar
+  /// expressions (z_hi/z_lo are the caller's pre-widened z_p +- kappa
+  /// thresholds), so NaN moments fail every comparison and land on 2 -- the
+  /// same fall-through to the exact path the scalar prefilter takes.
+  void (*prefilter_row_tile)(const double* mu_d, const double* sigma_x,
+                             const double* sigma_y, std::size_t m, double z_hi,
+                             double z_lo, std::uint8_t* verdict);
 };
 
 /// The active kernel table (dispatch happens on first use).
@@ -170,7 +211,17 @@ class aligned_doubles {
   /// Appends one value, growing geometrically (contents are preserved).
   void push_back(double v);
 
+  /// Appends `count` *uninitialized* slots (contents before the append are
+  /// preserved; growth is geometric) and returns a pointer to the first new
+  /// slot. The candidate-plane gather scatters rows into the returned span.
+  double* grow(std::size_t count);
+
+  /// Rewinds to empty keeping the capacity (the per-prune-call scratch
+  /// reset).
+  void clear() { size_ = 0; }
+
   const double* data() const { return data_; }
+  double* data() { return data_; }
   std::size_t size() const { return size_; }
 
  private:

@@ -1,0 +1,588 @@
+// Differential suite for the tiled dominance engine (core/pruning.cpp).
+//
+// The contract under test (pruning.hpp "Sweep-implementation policy"): the
+// tiled sweep -- SoA candidate planes + batched one-vs-many moment kernels +
+// the batched interval prefilter -- produces *bit-identical* results to the
+// seed's pairwise sweep: the same surviving candidates in the same order with
+// the same form bits, the same candidates_pruned, on every reachable ISA and
+// in both form representations. Which sweep ran may only move organization
+// counters (tiled_prunes / tile_prefilter_hits / pairs_batched vs
+// dominance_prefilter_hits).
+//
+// Layers:
+//   1. kernel: the one-vs-many entries match their one-plane counterparts
+//      row for row, bit for bit, on every reachable ISA; prefilter verdicts
+//      implement the exact scalar branch order (NaN falls through to 2).
+//   2. prune: randomized lists through prune_two_param / prune_four_param
+//      under forced pairwise vs forced tiled.
+//   3. engine: full serial + parallel solves (threads x li_shi) under both
+//      modes compare root RAT bits, assignments and work counters.
+#include "core/pruning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/statistical_dp.hpp"
+#include "layout/process_model.hpp"
+#include "stats/candidate_plane.hpp"
+#include "stats/kernels.hpp"
+#include "stats/linear_form.hpp"
+#include "stats/rng.hpp"
+#include "stats/term_pool.hpp"
+#include "stats/variation_space.hpp"
+#include "timing/buffer_library.hpp"
+#include "tree/benchmarks.hpp"
+
+namespace vabi::core {
+namespace {
+
+namespace kernels = stats::kernels;
+
+// ---------------------------------------------------------------------------
+// Guards (mirror tests/stats/kernels_test.cpp).
+// ---------------------------------------------------------------------------
+
+struct isa_guard {
+  explicit isa_guard(kernels::kernel_isa isa) {
+    kernels::set_forced_isa(kernels::to_string(isa));
+  }
+  ~isa_guard() { kernels::set_forced_isa(nullptr); }
+};
+
+struct dense_guard {
+  explicit dense_guard(int mode) { stats::set_force_dense(mode); }
+  ~dense_guard() { stats::reset_force_dense_from_env(); }
+};
+
+/// Forces one prune implementation for the scope; restores the
+/// VABI_FORCE_PRUNE environment default on exit.
+struct prune_guard {
+  explicit prune_guard(int mode) { set_force_prune(mode); }
+  ~prune_guard() { reset_force_prune_from_env(); }
+};
+
+std::vector<kernels::kernel_isa> reachable_isas() {
+  std::vector<kernels::kernel_isa> out{kernels::kernel_isa::scalar};
+  for (const auto isa :
+       {kernels::kernel_isa::sse2, kernels::kernel_isa::avx2,
+        kernels::kernel_isa::neon}) {
+    if (kernels::isa_available(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Random fixtures.
+// ---------------------------------------------------------------------------
+
+stats::variation_space make_space(std::size_t num_sources,
+                                  std::uint64_t seed) {
+  stats::variation_space space;
+  auto rng = stats::make_rng(seed * 977 + 13);
+  std::uniform_real_distribution<double> sigma(0.25, 2.0);
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    space.add_source(stats::source_kind::random_device, sigma(rng));
+  }
+  return space;
+}
+
+stats::linear_form random_form(std::mt19937_64& rng, std::size_t num_sources,
+                               double density, double mean_lo,
+                               double mean_hi) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> coeff(-0.05, 0.05);
+  std::uniform_real_distribution<double> mean(mean_lo, mean_hi);
+  stats::linear_form f{mean(rng)};
+  for (std::size_t id = 0; id < num_sources; ++id) {
+    if (unit(rng) >= density) continue;
+    double c = coeff(rng);
+    if (unit(rng) < 0.05) c = 0.0;  // present-with-zero vs absent corner
+    f.add_term(static_cast<stats::source_id>(id), c);
+  }
+  return f;
+}
+
+/// A candidate list with enough mean overlap that both sweeps prune some
+/// candidates and keep others at p > 0.5.
+std::vector<stat_candidate> random_list(std::size_t k,
+                                        std::size_t num_sources,
+                                        std::uint64_t seed) {
+  auto rng = stats::make_rng(seed);
+  std::vector<stat_candidate> list;
+  list.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    list.push_back({random_form(rng, num_sources, 0.6, 0.0, 2.0),
+                    random_form(rng, num_sources, 0.6, -100.0, 100.0),
+                    nullptr});
+  }
+  // A few identical-form ties (shared load / duplicated candidate): the tie
+  // convention is the branchiest corner of both sweeps.
+  if (k >= 8) {
+    list[3].load = list[2].load;
+    list[5] = {list[4].load, list[4].rat, nullptr};
+  }
+  return list;
+}
+
+/// Canonical (id, coefficient-bits) list of a form, representation-agnostic.
+struct form_bits {
+  std::uint64_t nominal = 0;
+  std::vector<std::pair<stats::source_id, std::uint64_t>> terms;
+
+  bool operator==(const form_bits&) const = default;
+};
+
+form_bits bits_of(const stats::linear_form& f) {
+  stats::linear_form c = f;
+  c.own_terms();
+  form_bits out;
+  out.nominal = std::bit_cast<std::uint64_t>(c.mean());
+  for (const auto& t : c.terms()) {
+    out.terms.emplace_back(t.id, std::bit_cast<std::uint64_t>(t.coeff));
+  }
+  return out;
+}
+
+void expect_lists_bitwise_equal(const std::vector<stat_candidate>& a,
+                                const std::vector<stat_candidate>& b,
+                                const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(bits_of(a[i].load), bits_of(b[i].load)) << what << " load " << i;
+    EXPECT_EQ(bits_of(a[i].rat), bits_of(b[i].rat)) << what << " rat " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Kernel layer.
+// ---------------------------------------------------------------------------
+
+TEST(TiledKernels, BatchedReductionsMatchOnePlaneBitwise) {
+  const std::size_t num_sources = 100;  // not a multiple of 4: tail columns
+  const auto space = make_space(num_sources, 31);
+  auto rng = stats::make_rng(77);
+
+  stats::candidate_plane plane;
+  plane.reset(num_sources);
+  const std::size_t m = 37;  // not a multiple of 4: remainder rows
+  for (std::size_t i = 0; i < m; ++i) {
+    plane.add_row(random_form(rng, num_sources, 0.5, -1.0, 1.0));
+  }
+  stats::candidate_plane xp;
+  xp.reset(num_sources);
+  xp.add_row(random_form(rng, num_sources, 0.5, -1.0, 1.0));
+
+  std::vector<const double*> rows(m);
+  for (std::size_t i = 0; i < m; ++i) rows[i] = plane.row(i);
+  const double* s2 = space.sigma2_data();
+
+  for (const auto isa : reachable_isas()) {
+    isa_guard guard{isa};
+    const auto& kt = kernels::active();
+    std::vector<double> out(m);
+
+    kt.variance_rows(rows.data(), m, s2, num_sources, out.data());
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(out[j]),
+                std::bit_cast<std::uint64_t>(
+                    kt.variance_plane(rows[j], s2, num_sources)))
+          << "variance " << kernels::to_string(isa) << " row " << j;
+    }
+
+    kt.covariance_row_tile(xp.row(0), rows.data(), m, s2, num_sources,
+                           out.data());
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(out[j]),
+                std::bit_cast<std::uint64_t>(kt.covariance_planes(
+                    xp.row(0), rows[j], s2, num_sources)))
+          << "covariance " << kernels::to_string(isa) << " row " << j;
+    }
+
+    kt.sigma_diff_sq_row_tile(xp.row(0), rows.data(), m, s2, num_sources,
+                              out.data());
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(out[j]),
+                std::bit_cast<std::uint64_t>(kt.sigma_diff_sq_planes(
+                    xp.row(0), rows[j], s2, num_sources)))
+          << "sigma_diff_sq " << kernels::to_string(isa) << " row " << j;
+    }
+  }
+}
+
+TEST(TiledKernels, BatchedReductionsMatchScalarAcrossIsas) {
+  const std::size_t num_sources = 67;
+  const auto space = make_space(num_sources, 5);
+  auto rng = stats::make_rng(6);
+  stats::candidate_plane plane;
+  plane.reset(num_sources);
+  const std::size_t m = 19;
+  for (std::size_t i = 0; i < m; ++i) {
+    plane.add_row(random_form(rng, num_sources, 0.7, -1.0, 1.0));
+  }
+  std::vector<const double*> rows(m);
+  for (std::size_t i = 0; i < m; ++i) rows[i] = plane.row(i);
+
+  std::vector<double> ref(m);
+  {
+    isa_guard guard{kernels::kernel_isa::scalar};
+    kernels::active().variance_rows(rows.data(), m, space.sigma2_data(),
+                                    num_sources, ref.data());
+  }
+  for (const auto isa : reachable_isas()) {
+    isa_guard guard{isa};
+    std::vector<double> out(m);
+    kernels::active().variance_rows(rows.data(), m, space.sigma2_data(),
+                                    num_sources, out.data());
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(out[j]),
+                std::bit_cast<std::uint64_t>(ref[j]))
+          << kernels::to_string(isa) << " row " << j;
+    }
+  }
+}
+
+TEST(TiledKernels, PrefilterVerdictsFollowScalarBranchOrder) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // z thresholds for p ~ 0.9: z_p ~ 1.2816, pre-widened by kappa.
+  const double z_hi = 1.2816 + 1e-6;
+  const double z_lo = 1.2816 - 1e-6;
+  const double mu_d[] = {
+      10.0,   // far above z_hi * (1 + 1) -> definitely true
+      -0.5,   // negative mean difference -> definitely false
+      0.1,    // below z_lo * |2 - 0.25| -> definitely false
+      2.56,   // between the bounds for sigmas (1, 1) -> undecided
+      nan,    // NaN mean -> fails every comparison -> undecided
+      1.0,    // NaN sigma -> undecided
+  };
+  const double sx[] = {1.0, 1.0, 2.0, 1.0, 1.0, nan};
+  const double sy[] = {1.0, 1.0, 0.25, 1.0, 1.0, 1.0};
+  const std::uint8_t want[] = {1, 0, 0, 2, 2, 2};
+  for (const auto isa : reachable_isas()) {
+    isa_guard guard{isa};
+    std::uint8_t verdict[6] = {9, 9, 9, 9, 9, 9};
+    kernels::active().prefilter_row_tile(mu_d, sx, sy, 6, z_hi, z_lo, verdict);
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(verdict[j], want[j]) << kernels::to_string(isa) << " " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Prune layer: forced pairwise vs forced tiled.
+// ---------------------------------------------------------------------------
+
+TEST(TiledPolicy, ThresholdsAndOverrides) {
+  {
+    prune_guard guard{0};  // adaptive
+    EXPECT_TRUE(use_tiled_prune(32, 16));
+    EXPECT_FALSE(use_tiled_prune(31, 16));
+    EXPECT_FALSE(use_tiled_prune(32, 15));
+  }
+  {
+    prune_guard guard{1};
+    EXPECT_TRUE(use_tiled_prune(2, 1));
+  }
+  {
+    prune_guard guard{-1};
+    EXPECT_FALSE(use_tiled_prune(1000, 1000));
+  }
+}
+
+class TiledDifferential : public ::testing::TestWithParam<double> {};
+
+TEST_P(TiledDifferential, TwoParamMatchesPairwiseBitwise) {
+  const double p = GetParam();
+  two_param_rule rule;
+  rule.p_load = p;
+  rule.p_rat = p;
+  for (const std::size_t num_sources : {24u, 64u}) {
+    const auto space = make_space(num_sources, num_sources);
+    for (const std::size_t k : {40u, 160u}) {
+      const auto base = random_list(k, num_sources, k * 31 + num_sources);
+      for (const auto isa : reachable_isas()) {
+        isa_guard ig{isa};
+        auto a = base;
+        auto b = base;
+        dp_stats sa, sb;
+        {
+          prune_guard guard{-1};
+          prune_two_param(rule, a, space, sa);
+        }
+        {
+          prune_guard guard{1};
+          prune_two_param(rule, b, space, sb);
+        }
+        EXPECT_EQ(sa.tiled_prunes, 0u);
+        EXPECT_EQ(sb.tiled_prunes, 1u);
+        EXPECT_GT(sb.pairs_batched, 0u);
+        EXPECT_EQ(sa.candidates_pruned, sb.candidates_pruned)
+            << "p=" << p << " k=" << k << " sources=" << num_sources;
+        expect_lists_bitwise_equal(a, b, kernels::to_string(isa));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Confidence, TiledDifferential,
+                         ::testing::Values(0.6, 0.8, 0.95),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "p" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+TEST(TiledDifferentialDense, TwoParamMatchesAcrossRepresentations) {
+  // Densified candidates (pooled ops under force-dense) must gather and
+  // prune to the same bits as their sparse twins.
+  two_param_rule rule;
+  rule.p_load = 0.8;
+  rule.p_rat = 0.8;
+  const std::size_t num_sources = 48;
+  const auto space = make_space(num_sources, 3);
+  const auto base = random_list(96, num_sources, 11);
+
+  stats::term_pool pool;
+  std::vector<stat_candidate> dense_base;
+  {
+    dense_guard dg{1};
+    for (const auto& c : base) {
+      stat_candidate d;
+      d.load = stats::pooled_add(c.load, stats::linear_form{0.0}, pool);
+      d.rat = stats::pooled_add(c.rat, stats::linear_form{0.0}, pool);
+      dense_base.push_back(std::move(d));
+    }
+  }
+  ASSERT_TRUE(dense_base.front().load.is_dense());
+
+  auto sparse_pair = base;
+  auto sparse_tile = base;
+  auto dense_tile = std::move(dense_base);
+  dp_stats s1, s2, s3;
+  {
+    prune_guard guard{-1};
+    prune_two_param(rule, sparse_pair, space, s1);
+  }
+  {
+    prune_guard guard{1};
+    prune_two_param(rule, sparse_tile, space, s2);
+    prune_two_param(rule, dense_tile, space, s3);
+  }
+  EXPECT_EQ(s1.candidates_pruned, s2.candidates_pruned);
+  EXPECT_EQ(s1.candidates_pruned, s3.candidates_pruned);
+  expect_lists_bitwise_equal(sparse_pair, sparse_tile, "sparse tiled");
+  expect_lists_bitwise_equal(sparse_pair, dense_tile, "dense tiled");
+}
+
+TEST(TiledDifferentialFourParam, MatchesPairwiseBitwise) {
+  const four_param_rule rule;
+  for (const std::size_t num_sources : {24u, 64u}) {
+    const auto space = make_space(num_sources, num_sources + 1);
+    const auto base = random_list(120, num_sources, num_sources * 7);
+    for (const auto isa : reachable_isas()) {
+      isa_guard ig{isa};
+      auto a = base;
+      auto b = base;
+      dp_stats sa, sb;
+      {
+        prune_guard guard{-1};
+        prune_four_param(rule, a, space, sa);
+      }
+      {
+        prune_guard guard{1};
+        prune_four_param(rule, b, space, sb);
+      }
+      EXPECT_EQ(sa.tiled_prunes, 0u);
+      EXPECT_EQ(sb.tiled_prunes, 1u);
+      EXPECT_EQ(sa.candidates_pruned, sb.candidates_pruned);
+      expect_lists_bitwise_equal(a, b, kernels::to_string(isa));
+    }
+  }
+}
+
+TEST(TiledDifferential, MeanRuleNeverTiles) {
+  const two_param_rule rule;  // p = 0.5
+  ASSERT_TRUE(rule.is_mean_rule());
+  const auto space = make_space(32, 1);
+  auto list = random_list(128, 32, 17);
+  dp_stats s;
+  prune_guard guard{1};  // even under forced tiled
+  prune_two_param(rule, list, space, s);
+  EXPECT_EQ(s.tiled_prunes, 0u);
+  EXPECT_EQ(s.pairs_batched, 0u);
+}
+
+TEST(TiledDifferential, SurvivorsAreMutuallyNonDominated) {
+  // Property check on the tiled survivors directly (not just equality with
+  // pairwise). The 2P sweep at p > 0.5 is the paper's *window-local*
+  // linearization -- survivors farther than sweep_window apart may still
+  // dominate -- so the 2P invariant is: no survivor is dominated by any of
+  // the `window` survivors kept immediately before it. The 4P prune is the
+  // full O(n^2) pass, so there the global property holds.
+  two_param_rule rule2;
+  rule2.p_load = 0.8;
+  rule2.p_rat = 0.8;
+  const four_param_rule rule4;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto space = make_space(32, seed);
+    prune_guard guard{1};
+    {
+      auto list = random_list(80, 32, seed * 101);
+      dp_stats s;
+      prune_two_param(rule2, list, space, s);
+      EXPECT_FALSE(list.empty());
+      const std::size_t window = rule2.sweep_window;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        for (std::size_t k = 1; k <= window && k <= i; ++k) {
+          EXPECT_FALSE(dominates(rule2, list[i - k], list[i], space))
+              << "2P seed " << seed << " pair (" << i - k << ", " << i << ")";
+        }
+      }
+    }
+    {
+      auto list = random_list(80, 32, seed * 103);
+      dp_stats s;
+      prune_four_param(rule4, list, space, s);
+      EXPECT_FALSE(list.empty());
+      EXPECT_TRUE(is_mutually_non_dominated(rule4, list, space))
+          << "4P seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 4P stddev memo (sigma_diff_cache::get_stddev).
+// ---------------------------------------------------------------------------
+
+class StddevCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { space_ = make_space(16, 9); }
+  stats::variation_space space_;
+};
+
+TEST_F(StddevCacheTest, CachedStddevIsExact) {
+  auto rng = stats::make_rng(21);
+  const auto f = random_form(rng, 16, 0.7, -1.0, 1.0);
+  sigma_diff_cache cache;
+  const double got = cache.get_stddev(f, space_);
+  const double again = cache.get_stddev(f, space_);
+  const double direct = f.stddev(space_);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+            std::bit_cast<std::uint64_t>(direct));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(again),
+            std::bit_cast<std::uint64_t>(direct));
+}
+
+TEST_F(StddevCacheTest, CachedFourParamDominatesMatchesUncached) {
+  const four_param_rule rule;
+  auto rng = stats::make_rng(23);
+  std::vector<stat_candidate> cands;
+  for (int i = 0; i < 16; ++i) {
+    cands.push_back({random_form(rng, 16, 0.7, 0.0, 1.0),
+                     random_form(rng, 16, 0.7, -50.0, 50.0), nullptr});
+  }
+  cands.push_back({stats::linear_form{0.5}, stats::linear_form{0.0},
+                   nullptr});        // zero-sigma corner
+  cands.push_back(cands.front());    // identical-form tie corner
+  sigma_diff_cache cache;
+  for (const auto& a : cands) {
+    for (const auto& b : cands) {
+      EXPECT_EQ(dominates(rule, a, b, space_, cache),
+                dominates(rule, a, b, space_));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Engine layer: full solves under both modes.
+// ---------------------------------------------------------------------------
+
+struct engine_case {
+  const char* name;
+  pruning_kind rule;
+  double pbar;
+  std::size_t threads;  ///< 0 = serial engine
+  li_shi_mode li_shi;
+};
+
+class TiledEngineDifferential : public ::testing::TestWithParam<engine_case> {
+};
+
+TEST_P(TiledEngineDifferential, SolveIsBitIdenticalAcrossPruneModes) {
+  const engine_case& ec = GetParam();
+
+  tree::benchmark_spec spec;
+  spec.name = "tiled_diff";
+  spec.sinks = 32;
+  spec.die_side_um = 2500.0;
+  spec.seed = 917;
+  const auto net = tree::build_benchmark(spec);
+
+  layout::process_model_config pc;
+  pc.mode = layout::wid_mode();
+  pc.spatial.profile = layout::spatial_profile::heterogeneous;
+
+  stat_options o;
+  o.library = timing::standard_library();
+  o.driver_res_ohm = 150.0;
+  o.rule = ec.rule;
+  o.root_percentile = 0.05;
+  o.selection_percentile = 0.05;
+  o.two_param.p_load = ec.pbar;
+  o.two_param.p_rat = ec.pbar;
+  o.li_shi = ec.li_shi;
+
+  const auto solve = [&](int mode) {
+    prune_guard guard{mode};
+    layout::process_model model{layout::square_die(spec.die_side_um), pc};
+    if (ec.threads == 0) return run_statistical_insertion(net, model, o);
+    thread_pool pool{ec.threads};
+    return run_parallel_insertion(net, model, o, pool);
+  };
+
+  const auto pairwise = solve(-1);
+  const auto tiled = solve(1);
+  ASSERT_TRUE(pairwise.ok()) << pairwise.stats.abort_reason;
+  ASSERT_TRUE(tiled.ok()) << tiled.stats.abort_reason;
+
+  EXPECT_EQ(pairwise.num_buffers, tiled.num_buffers);
+  EXPECT_EQ(pairwise.stats.candidates_created, tiled.stats.candidates_created);
+  EXPECT_EQ(pairwise.stats.candidates_pruned, tiled.stats.candidates_pruned);
+  EXPECT_EQ(pairwise.stats.merge_pairs, tiled.stats.merge_pairs);
+  EXPECT_EQ(bits_of(pairwise.root_rat), bits_of(tiled.root_rat));
+  for (tree::node_id n = 0; n < net.num_nodes(); ++n) {
+    ASSERT_EQ(pairwise.assignment.has_buffer(n), tiled.assignment.has_buffer(n));
+    if (pairwise.assignment.has_buffer(n)) {
+      EXPECT_EQ(pairwise.assignment.buffer(n), tiled.assignment.buffer(n));
+    }
+  }
+  EXPECT_EQ(pairwise.stats.tiled_prunes, 0u);
+}
+
+constexpr engine_case kEngineCases[] = {
+    {"serial_2p_p90", pruning_kind::two_param, 0.9, 0, li_shi_mode::never},
+    {"serial_2p_p90_li_shi", pruning_kind::two_param, 0.9, 0,
+     li_shi_mode::always},
+    {"serial_4p", pruning_kind::four_param, 0.5, 0, li_shi_mode::never},
+    {"t1_2p_p90", pruning_kind::two_param, 0.9, 1, li_shi_mode::never},
+    {"t2_2p_p90", pruning_kind::two_param, 0.9, 2, li_shi_mode::never},
+    {"t8_2p_p90", pruning_kind::two_param, 0.9, 8, li_shi_mode::never},
+    {"t8_2p_p90_li_shi", pruning_kind::two_param, 0.9, 8,
+     li_shi_mode::always},
+    {"t2_4p", pruning_kind::four_param, 0.5, 2, li_shi_mode::never},
+    {"t8_4p", pruning_kind::four_param, 0.5, 8, li_shi_mode::never},
+};
+
+INSTANTIATE_TEST_SUITE_P(RulesThreadsLiShi, TiledEngineDifferential,
+                         ::testing::ValuesIn(kEngineCases),
+                         [](const ::testing::TestParamInfo<engine_case>& i) {
+                           return std::string(i.param.name);
+                         });
+
+}  // namespace
+}  // namespace vabi::core
